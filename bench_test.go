@@ -1,0 +1,299 @@
+// Package repro's root benchmark suite regenerates every table of the
+// paper's evaluation and measures the design decisions DESIGN.md calls
+// out. One benchmark per evaluation artifact:
+//
+//	BenchmarkTable1Apex1 / Apex2 / K2   paper Table 1, per circuit
+//	BenchmarkTable2                     paper Table 2
+//	BenchmarkTable3                     paper Table 3
+//	BenchmarkYield                      section 4 yield claim
+//
+// plus operator microbenchmarks and the ablations:
+//
+//	BenchmarkAblationMaxAnalyticVsSampled  analytic eq 10/12 vs the
+//	    sampling approach of refs [1][2] at equal accuracy
+//	BenchmarkAblationSSTAVsMonteCarlo      one analytic sweep vs a
+//	    Monte Carlo run of comparable moment accuracy (the paper's
+//	    argument that MC is impractical inside an optimizer loop)
+//	BenchmarkAblationReducedVsFullSpace    formulation cost comparison
+//	BenchmarkAblationNewtonVsLBFGS         inner-solver comparison on
+//	    the full-space problem (the value of exact second derivatives)
+//	BenchmarkAblationBilinearVsDivision    eq 15 vs eq 14 delay form
+//	BenchmarkAblationAdjointVsFDGradient   exact adjoint gradient vs
+//	    finite differences (the paper's case for analytic derivatives)
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/delay"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/nlp"
+	"repro/internal/sizing"
+	"repro/internal/ssta"
+	"repro/internal/stats"
+)
+
+// --- Paper tables ---------------------------------------------------
+
+func benchTable1(b *testing.B, idx int) {
+	cases := []bench.CircuitCase{bench.Table1Circuits()[idx]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable1(cases, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Apex1(b *testing.B) { benchTable1(b, 0) }
+func BenchmarkTable1Apex2(b *testing.B) { benchTable1(b, 1) }
+func BenchmarkTable1K2(b *testing.B)    { benchTable1(b, 2) }
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkYield(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunYield(50000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Operator microbenchmarks ----------------------------------------
+
+var sinkMV stats.MV
+
+func BenchmarkStochMax2(b *testing.B) {
+	a := stats.MV{Mu: 5, Var: 1.2}
+	c := stats.MV{Mu: 5.5, Var: 0.8}
+	for i := 0; i < b.N; i++ {
+		sinkMV = stats.Max2(a, c)
+	}
+}
+
+var sinkJac stats.Jac2x4
+
+func BenchmarkStochMax2Jac(b *testing.B) {
+	a := stats.MV{Mu: 5, Var: 1.2}
+	c := stats.MV{Mu: 5.5, Var: 0.8}
+	for i := 0; i < b.N; i++ {
+		sinkMV, sinkJac = stats.Max2Jac(a, c)
+	}
+}
+
+var sinkHess [4][4]float64
+
+func BenchmarkStochMax2Hessians(b *testing.B) {
+	a := stats.MV{Mu: 5, Var: 1.2}
+	c := stats.MV{Mu: 5.5, Var: 0.8}
+	for i := 0; i < b.N; i++ {
+		sinkHess, _ = stats.Max2Hessians(a, c)
+	}
+}
+
+func sstaModel(b *testing.B, mk func() *netlist.Circuit) *delay.Model {
+	b.Helper()
+	g, err := netlist.Compile(mk())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := delay.Bind(g, delay.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+var sinkF float64
+
+func BenchmarkSSTASweepApex1(b *testing.B) {
+	m := sstaModel(b, netlist.Apex1Like)
+	S := m.UnitSizes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = ssta.Analyze(m, S, false).Tmax.Mu
+	}
+}
+
+func BenchmarkSSTASweepK2(b *testing.B) {
+	m := sstaModel(b, netlist.K2Like)
+	S := m.UnitSizes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = ssta.Analyze(m, S, false).Tmax.Mu
+	}
+}
+
+func BenchmarkSSTAGradientK2(b *testing.B) {
+	// Full objective + exact gradient: one taped sweep plus one
+	// adjoint sweep — the inner-loop cost of the reduced formulation.
+	m := sstaModel(b, netlist.K2Like)
+	S := m.UnitSizes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi, grad := ssta.GradMuPlusKSigma(m, S, 3)
+		sinkF = phi + grad[len(grad)-1]
+	}
+}
+
+// --- Ablations --------------------------------------------------------
+
+func BenchmarkAblationMaxAnalyticVsSampled(b *testing.B) {
+	a := stats.MV{Mu: 5, Var: 1.2}
+	c := stats.MV{Mu: 5.5, Var: 0.8}
+	b.Run("analytic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkMV = stats.Max2(a, c)
+		}
+	})
+	// 10k samples gives moment noise around 1%, far coarser than the
+	// analytic expressions; even so it is orders of magnitude slower.
+	b.Run("sampled-10k", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			sinkMV = stats.SampleMax2(a, c, 10000, rng)
+		}
+	})
+}
+
+func BenchmarkAblationSSTAVsMonteCarlo(b *testing.B) {
+	m := sstaModel(b, netlist.Apex2Like)
+	S := m.UnitSizes()
+	b.Run("analytic-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkF = ssta.Analyze(m, S, false).Tmax.Mu
+		}
+	})
+	b.Run("montecarlo-10k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := montecarlo.Run(m, S, montecarlo.Options{Samples: 10000, Seed: int64(i + 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = r.Mu
+		}
+	})
+}
+
+func BenchmarkAblationReducedVsFullSpace(b *testing.B) {
+	run := func(b *testing.B, spec sizing.Spec) {
+		b.Helper()
+		g := netlist.MustCompile(netlist.Tree7())
+		m := delay.MustBind(g, delay.PaperTree())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := sizing.Size(m, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = out.MuTmax
+		}
+	}
+	b.Run("reduced", func(b *testing.B) {
+		run(b, sizing.Spec{Objective: sizing.MinMuPlusKSigma(3)})
+	})
+	b.Run("fullspace-newton", func(b *testing.B) {
+		run(b, sizing.Spec{
+			Objective:   sizing.MinMuPlusKSigma(3),
+			Formulation: sizing.FullSpace,
+			Solver:      nlp.Options{Method: nlp.NewtonCG},
+		})
+	})
+}
+
+func BenchmarkAblationNewtonVsLBFGS(b *testing.B) {
+	run := func(b *testing.B, method nlp.Method) {
+		b.Helper()
+		g := netlist.MustCompile(netlist.Fig2Example())
+		m := delay.MustBind(g, delay.Default())
+		spec := sizing.Spec{
+			Objective:   sizing.MinMuPlusKSigma(3),
+			Formulation: sizing.FullSpace,
+			Solver:      nlp.Options{Method: method, MaxInner: 3000},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := sizing.Size(m, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = out.MuTmax
+		}
+	}
+	b.Run("newton-cg", func(b *testing.B) { run(b, nlp.NewtonCG) })
+	b.Run("lbfgs", func(b *testing.B) { run(b, nlp.LBFGS) })
+}
+
+func BenchmarkAblationBilinearVsDivision(b *testing.B) {
+	run := func(b *testing.B, form sizing.DelayForm) {
+		b.Helper()
+		g := netlist.MustCompile(netlist.Fig2Example())
+		m := delay.MustBind(g, delay.Default())
+		spec := sizing.Spec{
+			Objective:   sizing.MinMuPlusKSigma(3),
+			Formulation: sizing.FullSpace,
+			DelayForm:   form,
+			Solver:      nlp.Options{Method: nlp.NewtonCG},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := sizing.Size(m, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkF = out.MuTmax
+		}
+	}
+	b.Run("bilinear-eq15", func(b *testing.B) { run(b, sizing.Bilinear) })
+	b.Run("division-eq14", func(b *testing.B) { run(b, sizing.Division) })
+}
+
+func BenchmarkAblationAdjointVsFDGradient(b *testing.B) {
+	// The cost of one exact gradient of mu+3sigma on a 982-cell
+	// circuit (two sweeps) vs one-sided finite differences (n+1
+	// sweeps) — the paper's case for analytical derivatives.
+	m := sstaModel(b, netlist.Apex1Like)
+	S := m.UnitSizes()
+	gates := m.G.C.GateIDs()
+	b.Run("adjoint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, grad := ssta.GradMuPlusKSigma(m, S, 3)
+			sinkF = grad[gates[0]]
+		}
+	})
+	b.Run("finite-difference", func(b *testing.B) {
+		phi := func() float64 {
+			r := ssta.Analyze(m, S, false)
+			v, _, _ := ssta.ObjectiveMuPlusKSigma(r.Tmax, 3)
+			return v
+		}
+		grad := make([]float64, len(S))
+		for i := 0; i < b.N; i++ {
+			base := phi()
+			const h = 1e-6
+			for _, id := range gates {
+				S[id] += h
+				grad[id] = (phi() - base) / h
+				S[id] -= h
+			}
+			sinkF = grad[gates[0]]
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Command circuitgen emits synthetic benchmark circuits in .ckt or
+// mapped-BLIF format: either the named presets standing in for the
+// paper's MCNC benchmarks or a fully parameterized random DAG.
+//
+// Usage:
+//
+//	circuitgen -preset apex1 > apex1.ckt
+//	circuitgen -gates 500 -inputs 40 -outputs 10 -depth 14 -seed 7 -format blif
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		preset   = flag.String("preset", "", "apex1 | apex2 | k2 | tree7 | fig2 (overrides the size flags)")
+		gates    = flag.Int("gates", 100, "number of gates")
+		inputs   = flag.Int("inputs", 16, "number of primary inputs")
+		outputs  = flag.Int("outputs", 4, "minimum number of primary outputs")
+		depth    = flag.Int("depth", 8, "target logic depth")
+		maxFanin = flag.Int("maxfanin", 4, "maximum gate fan-in (1-4)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		cones    = flag.Int("cones", 0, "logic cones (0 = auto)")
+		format   = flag.String("format", "ckt", "ckt | blif | bench")
+		name     = flag.String("name", "gen", "circuit name")
+	)
+	flag.Parse()
+
+	var (
+		c   *netlist.Circuit
+		err error
+	)
+	switch *preset {
+	case "":
+		c, err = netlist.Generate(netlist.GenSpec{
+			Name: *name, Gates: *gates, Inputs: *inputs, Outputs: *outputs,
+			Depth: *depth, MaxFanin: *maxFanin, Seed: *seed, Cones: *cones,
+		})
+	case "apex1":
+		c = netlist.Apex1Like()
+	case "apex2":
+		c = netlist.Apex2Like()
+	case "k2":
+		c = netlist.K2Like()
+	case "tree7":
+		c = netlist.Tree7()
+	case "fig2":
+		c = netlist.Fig2Example()
+	default:
+		err = fmt.Errorf("unknown preset %q", *preset)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "ckt":
+		err = netlist.WriteCKT(os.Stdout, c)
+	case "blif":
+		err = netlist.WriteBLIF(os.Stdout, c)
+	case "bench":
+		err = netlist.WriteBench(os.Stdout, c)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	s, _ := c.ComputeStats()
+	fmt.Fprintf(os.Stderr, "circuitgen: %s: %d gates, %d inputs, %d outputs, depth %d\n",
+		c.Name, s.Gates, s.Inputs, s.Outputs, s.Depth)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "circuitgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command ssta runs statistical static timing analysis on a circuit:
+// the analytic linear-time sweep of the paper's references [1], [2],
+// optionally cross-checked against Monte Carlo sampling, with a
+// statistical-criticality report.
+//
+// Usage:
+//
+//	ssta -circuit tree7
+//	ssta -circuit design.ckt -mc 100000 -crit 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/delay"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+func main() {
+	var (
+		circuitFlag = flag.String("circuit", "tree7", "built-in name or netlist file (.ckt/.blif/.bench)")
+		sigmaK      = flag.Float64("sigmak", 0.25, "sigma model: sigma_t = sigmak * mu_t")
+		mcSamples   = flag.Int("mc", 0, "Monte Carlo cross-check with this many samples (0 = off)")
+		critN       = flag.Int("crit", 0, "print the N most critical gates (0 = off)")
+		seed        = flag.Int64("seed", 1, "Monte Carlo seed")
+		canonical   = flag.Bool("canonical", false, "also run the correlation-aware canonical sweep")
+	)
+	flag.Parse()
+
+	circ, lib, err := loadCircuit(*circuitFlag)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := netlist.Compile(circ)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := delay.Bind(g, lib)
+	if err != nil {
+		fatal(err)
+	}
+	m.Sigma = delay.Proportional{K: *sigmaK}
+	S := m.UnitSizes()
+
+	stats, _ := circ.ComputeStats()
+	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs, depth %d\n",
+		circ.Name, stats.Gates, stats.Inputs, stats.Outputs, stats.Depth)
+
+	det := ssta.DetAnalyze(m, S)
+	r := ssta.Analyze(m, S, false)
+	fmt.Printf("deterministic Tmax: %.4f\n", det.Tmax)
+	fmt.Printf("statistical Tmax:   mu = %.4f  sigma = %.4f\n", r.Tmax.Mu, r.Tmax.Sigma())
+	if *canonical {
+		can := ssta.AnalyzeCanonical(m, S)
+		fmt.Printf("canonical Tmax:     mu = %.4f  sigma = %.4f (correlation-aware)\n",
+			can.Tmax.Mu, can.Tmax.Sigma())
+		if !math.IsNaN(can.OutputCorr) {
+			fmt.Printf("first-two-outputs correlation: %.4f\n", can.OutputCorr)
+		}
+	}
+	fmt.Printf("quantiles: 50%% = %.4f  84.1%% = %.4f  99.8%% = %.4f\n",
+		r.Tmax.Mu, r.Tmax.Mu+r.Tmax.Sigma(), r.Tmax.Mu+3*r.Tmax.Sigma())
+
+	path := det.CriticalPath(m)
+	names := make([]string, len(path))
+	for i, id := range path {
+		names[i] = circ.Nodes[id].Name
+	}
+	fmt.Printf("deterministic critical path: %s\n", strings.Join(names, " -> "))
+
+	if *critN > 0 {
+		crit := ssta.Criticality(m, S)
+		type gc struct {
+			name string
+			c    float64
+		}
+		var list []gc
+		for _, id := range circ.GateIDs() {
+			list = append(list, gc{circ.Nodes[id].Name, crit[id]})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].c > list[j].c })
+		if len(list) > *critN {
+			list = list[:*critN]
+		}
+		fmt.Println("statistical criticality (d muTmax / d mu_gate):")
+		for _, e := range list {
+			fmt.Printf("  %-12s %.4f\n", e.name, e.c)
+		}
+	}
+
+	if *mcSamples > 0 {
+		cmp, err := montecarlo.CompareAnalytic(m, S, r.Tmax, montecarlo.Options{
+			Samples: *mcSamples, Seed: *seed, KeepSamples: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("monte carlo (%d samples): mu = %.4f  sigma = %.4f\n",
+			*mcSamples, cmp.MC.Mu, cmp.MC.Sigma)
+		fmt.Printf("analytic-vs-MC error:     mu %.3g (%.2f%%)  sigma %.3g (%.1f%%)\n",
+			cmp.MuErr, 100*cmp.MuErr/cmp.MC.Mu,
+			cmp.SigmaErr, 100*cmp.SigmaErr/cmp.MC.Sigma)
+		fmt.Printf("MC yield at analytic deadlines: mu %.1f%%  mu+sigma %.1f%%  mu+3sigma %.1f%%\n",
+			100*cmp.MC.Yield(r.Tmax.Mu),
+			100*cmp.MC.Yield(r.Tmax.Mu+r.Tmax.Sigma()),
+			100*cmp.MC.Yield(r.Tmax.Mu+3*r.Tmax.Sigma()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssta:", err)
+	os.Exit(1)
+}
+
+func loadCircuit(name string) (*netlist.Circuit, *delay.Library, error) {
+	switch name {
+	case "tree7":
+		return netlist.Tree7(), delay.PaperTree(), nil
+	case "fig2":
+		return netlist.Fig2Example(), delay.Default(), nil
+	case "apex1":
+		return netlist.Apex1Like(), delay.Default(), nil
+	case "apex2":
+		return netlist.Apex2Like(), delay.Default(), nil
+	case "k2":
+		return netlist.K2Like(), delay.Default(), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var c *netlist.Circuit
+	switch {
+	case strings.HasSuffix(name, ".blif"):
+		c, err = netlist.ReadBLIF(f)
+	case strings.HasSuffix(name, ".bench"):
+		c, err = netlist.ReadBench(f)
+	default:
+		c, err = netlist.ReadCKT(f)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return c, delay.Default(), nil
+}

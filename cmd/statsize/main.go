@@ -1,0 +1,237 @@
+// Command statsize sizes the gates of a circuit under the statistical
+// delay model of Jacobs & Berkelaar (DATE 2000).
+//
+// Usage:
+//
+//	statsize -circuit tree7 -objective mu+3sigma
+//	statsize -circuit design.ckt -objective area -constraint "mu+3sigma<=120"
+//	statsize -circuit fig2 -formulation full -solver newton -sizes
+//
+// Built-in circuits: tree7 (paper Figure 3), fig2 (paper Figure 2,
+// Section 5 example), apex1, apex2, k2 (synthetic stand-ins for the
+// paper's MCNC benchmarks). Anything else is read as a .ckt or .blif
+// file by extension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/nlp"
+	"repro/internal/sizing"
+	"repro/internal/ssta"
+)
+
+func main() {
+	var (
+		circuitFlag   = flag.String("circuit", "tree7", "built-in name or netlist file (.ckt/.blif/.bench)")
+		objectiveFlag = flag.String("objective", "mu", "mu | mu+sigma | mu+3sigma | mu+Ksigma | area | sigma | -sigma")
+		constraints   multiFlag
+		formulation   = flag.String("formulation", "reduced", "reduced | full")
+		solver        = flag.String("solver", "lbfgs", "lbfgs | newton (newton needs -formulation full)")
+		sigmaK        = flag.Float64("sigmak", 0.25, "sigma model: sigma_t = sigmak * mu_t")
+		limit         = flag.Float64("limit", 3, "maximum speed factor")
+		showSizes     = flag.Bool("sizes", false, "print per-gate speed factors")
+		verbose       = flag.Bool("v", false, "log solver progress")
+	)
+	flag.Var(&constraints, "constraint", `timing constraint, repeatable: "mu<=120", "mu+3sigma<=120", "mu=6.5"`)
+	flag.Parse()
+
+	circ, lib, err := loadCircuit(*circuitFlag)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := netlist.Compile(circ)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := delay.Bind(g, lib)
+	if err != nil {
+		fatal(err)
+	}
+	m.Limit = *limit
+	m.Sigma = delay.Proportional{K: *sigmaK}
+
+	spec := sizing.Spec{}
+	spec.Objective, err = parseObjective(*objectiveFlag)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range constraints {
+		con, err := parseConstraint(c)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Constraints = append(spec.Constraints, con)
+	}
+	switch *formulation {
+	case "reduced":
+		spec.Formulation = sizing.Reduced
+	case "full":
+		spec.Formulation = sizing.FullSpace
+	default:
+		fatal(fmt.Errorf("unknown formulation %q", *formulation))
+	}
+	switch *solver {
+	case "lbfgs":
+		spec.Solver.Method = nlp.LBFGS
+	case "newton":
+		spec.Solver.Method = nlp.NewtonCG
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+	if *verbose {
+		spec.Solver.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n",
+		circ.Name, circ.NumGates(), circ.NumInputs(), len(circ.Outputs))
+	fmt.Printf("unsized:   mu = %.4f  sigma = %.4f  sum(Si) = %d\n",
+		unit.Mu, unit.Sigma(), circ.NumGates())
+
+	out, err := sizing.Size(m, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("objective: %v", spec.Objective)
+	for _, c := range spec.Constraints {
+		fmt.Printf("  s.t. %v", c)
+	}
+	fmt.Printf("  [%v / %v]\n", spec.Formulation, spec.Solver.Method)
+	fmt.Printf("sized:     mu = %.4f  sigma = %.4f  sum(Si) = %.4f\n",
+		out.MuTmax, out.SigmaTmax, out.SumS)
+	fmt.Printf("solver:    %v in %v (%d outer, %d inner, violation %.2g)\n",
+		out.Solver.Status, out.Runtime.Round(time.Millisecond),
+		out.Solver.Outer, out.Solver.Inner, out.Solver.MaxViolation)
+
+	if *showSizes {
+		type gs struct {
+			name string
+			s    float64
+		}
+		var list []gs
+		for _, id := range circ.GateIDs() {
+			list = append(list, gs{circ.Nodes[id].Name, out.S[id]})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+		fmt.Println("speed factors:")
+		for _, e := range list {
+			fmt.Printf("  %-12s %.4f\n", e.name, e.s)
+		}
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "statsize:", err)
+	os.Exit(1)
+}
+
+// loadCircuit resolves a built-in name or reads a netlist file.
+func loadCircuit(name string) (*netlist.Circuit, *delay.Library, error) {
+	switch name {
+	case "tree7":
+		return netlist.Tree7(), delay.PaperTree(), nil
+	case "fig2":
+		return netlist.Fig2Example(), delay.Default(), nil
+	case "apex1":
+		return netlist.Apex1Like(), delay.Default(), nil
+	case "apex2":
+		return netlist.Apex2Like(), delay.Default(), nil
+	case "k2":
+		return netlist.K2Like(), delay.Default(), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var c *netlist.Circuit
+	switch {
+	case strings.HasSuffix(name, ".blif"):
+		c, err = netlist.ReadBLIF(f)
+	case strings.HasSuffix(name, ".bench"):
+		c, err = netlist.ReadBench(f)
+	default:
+		c, err = netlist.ReadCKT(f)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return c, delay.Default(), nil
+}
+
+// parseObjective maps the -objective flag to a sizing objective.
+func parseObjective(s string) (sizing.Objective, error) {
+	switch s {
+	case "mu":
+		return sizing.MinMu(), nil
+	case "area":
+		return sizing.MinArea(), nil
+	case "sigma":
+		return sizing.MinSigma(), nil
+	case "-sigma", "maxsigma":
+		return sizing.MaxSigma(), nil
+	}
+	if k, ok := parseKSigma(s); ok {
+		return sizing.MinMuPlusKSigma(k), nil
+	}
+	return sizing.Objective{}, fmt.Errorf("unknown objective %q", s)
+}
+
+// parseKSigma parses "mu+sigma", "mu+3sigma", "mu+2.5sigma".
+func parseKSigma(s string) (float64, bool) {
+	if !strings.HasPrefix(s, "mu+") || !strings.HasSuffix(s, "sigma") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(s, "mu+"), "sigma")
+	if mid == "" {
+		return 1, true
+	}
+	k, err := strconv.ParseFloat(mid, 64)
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+// parseConstraint parses "mu<=120", "mu+3sigma<=120", "mu=6.5".
+func parseConstraint(s string) (sizing.Constraint, error) {
+	s = strings.ReplaceAll(s, " ", "")
+	if i := strings.Index(s, "<="); i >= 0 {
+		bound, err := strconv.ParseFloat(s[i+2:], 64)
+		if err != nil {
+			return sizing.Constraint{}, fmt.Errorf("bad bound in %q", s)
+		}
+		lhs := s[:i]
+		if lhs == "mu" {
+			return sizing.DelayLE(0, bound), nil
+		}
+		if k, ok := parseKSigma(lhs); ok {
+			return sizing.DelayLE(k, bound), nil
+		}
+		return sizing.Constraint{}, fmt.Errorf("bad constraint lhs %q", lhs)
+	}
+	if i := strings.Index(s, "="); i >= 0 && s[:i] == "mu" {
+		bound, err := strconv.ParseFloat(s[i+1:], 64)
+		if err != nil {
+			return sizing.Constraint{}, fmt.Errorf("bad bound in %q", s)
+		}
+		return sizing.MuEQ(bound), nil
+	}
+	return sizing.Constraint{}, fmt.Errorf("cannot parse constraint %q", s)
+}

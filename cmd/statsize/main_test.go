@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sizing"
+)
+
+func TestParseObjective(t *testing.T) {
+	cases := map[string]sizing.Objective{
+		"mu":          sizing.MinMu(),
+		"area":        sizing.MinArea(),
+		"sigma":       sizing.MinSigma(),
+		"-sigma":      sizing.MaxSigma(),
+		"maxsigma":    sizing.MaxSigma(),
+		"mu+sigma":    sizing.MinMuPlusKSigma(1),
+		"mu+3sigma":   sizing.MinMuPlusKSigma(3),
+		"mu+2.5sigma": sizing.MinMuPlusKSigma(2.5),
+	}
+	for in, want := range cases {
+		got, err := parseObjective(in)
+		if err != nil {
+			t.Errorf("parseObjective(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseObjective(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "frob", "mu+", "mu+xsigma", "mu+-1sigma", "sigma+mu"} {
+		if _, err := parseObjective(bad); err == nil {
+			t.Errorf("parseObjective(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	cases := map[string]sizing.Constraint{
+		"mu<=120":          sizing.DelayLE(0, 120),
+		"mu <= 120":        sizing.DelayLE(0, 120),
+		"mu+sigma<=120":    sizing.DelayLE(1, 120),
+		"mu+3sigma<=29":    sizing.DelayLE(3, 29),
+		"mu=6.5":           sizing.MuEQ(6.5),
+		"mu + 3sigma <= 1": sizing.DelayLE(3, 1),
+	}
+	for in, want := range cases {
+		got, err := parseConstraint(in)
+		if err != nil {
+			t.Errorf("parseConstraint(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseConstraint(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "mu", "mu<=x", "sigma<=2", "mu=x", "x=3", "mu>=2"} {
+		if _, err := parseConstraint(bad); err == nil {
+			t.Errorf("parseConstraint(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadCircuitBuiltins(t *testing.T) {
+	for _, name := range []string{"tree7", "fig2", "apex1", "apex2", "k2"} {
+		c, lib, err := loadCircuit(name)
+		if err != nil {
+			t.Errorf("loadCircuit(%q): %v", name, err)
+			continue
+		}
+		if c == nil || lib == nil {
+			t.Errorf("loadCircuit(%q) returned nils", name)
+		}
+	}
+	if _, _, err := loadCircuit("/no/such/file.ckt"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command tables regenerates the paper's evaluation artifacts: Table 1
+// (benchmark sizing formulations), Table 2 (tree objectives), Table 3
+// (tree speed factors) and the section 4 timing-yield experiment.
+//
+// Usage:
+//
+//	tables                 # everything (Table 1 takes ~30 s)
+//	tables -table 2        # just Table 2
+//	tables -table yield -samples 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | all")
+		samples = flag.Int("samples", 200000, "Monte Carlo samples for the yield table")
+		verbose = flag.Bool("v", false, "log per-run solver progress for Table 1")
+	)
+	flag.Parse()
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	run1 := func() {
+		t, err := bench.RunTable1(bench.Table1Circuits(), logf)
+		if err != nil {
+			fatal(err)
+		}
+		t.Format(os.Stdout)
+	}
+	run2 := func() {
+		t, err := bench.RunTable2()
+		if err != nil {
+			fatal(err)
+		}
+		t.Format(os.Stdout)
+	}
+	run3 := func() {
+		t, err := bench.RunTable3()
+		if err != nil {
+			fatal(err)
+		}
+		t.Format(os.Stdout)
+	}
+	runYield := func() {
+		y, err := bench.RunYield(*samples)
+		if err != nil {
+			fatal(err)
+		}
+		y.Format(os.Stdout)
+	}
+	runBaseline := func() {
+		b, err := bench.RunBaseline(*samples)
+		if err != nil {
+			fatal(err)
+		}
+		b.Format(os.Stdout)
+	}
+
+	switch *table {
+	case "1":
+		run1()
+	case "2":
+		run2()
+	case "3":
+		run3()
+	case "yield":
+		runYield()
+	case "baseline":
+		runBaseline()
+	case "all":
+		run2()
+		run3()
+		runYield()
+		runBaseline()
+		run1()
+	default:
+		fatal(fmt.Errorf("unknown table %q", *table))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

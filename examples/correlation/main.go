@@ -1,0 +1,61 @@
+// Correlation: quantify the error of the paper's independence
+// assumption (section 3) and preview its named future work
+// (section 7): correlation-aware statistical timing.
+//
+// Three estimates of the same circuit-delay distribution are compared:
+// the paper's independence-assuming analytic sweep, the canonical
+// correlation-aware sweep (per-gate noise sources, Clark's correlated
+// max), and ground-truth Monte Carlo.
+//
+// Run with:
+//
+//	go run ./examples/correlation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/delay"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/ssta"
+)
+
+func main() {
+	circuits := []*netlist.Circuit{
+		netlist.Tree7(),       // no reconvergence: independence exact
+		netlist.Fig2Example(), // mild reconvergence
+		netlist.Apex2Like(),   // heavily reconvergent synthetic logic
+	}
+	fmt.Printf("%-12s %22s %22s %22s\n", "circuit",
+		"independence (paper)", "canonical (future wk)", "monte carlo (truth)")
+	for _, c := range circuits {
+		lib := delay.Default()
+		if c.Name == "tree7" {
+			lib = delay.PaperTree()
+		}
+		m := delay.MustBind(netlist.MustCompile(c), lib)
+		S := m.UnitSizes()
+
+		ind := ssta.Analyze(m, S, false).Tmax
+		can := ssta.AnalyzeCanonical(m, S)
+		mc, err := montecarlo.Run(m, S, montecarlo.Options{Samples: 100000, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s    mu=%6.3f sg=%5.3f    mu=%6.3f sg=%5.3f    mu=%6.3f sg=%5.3f\n",
+			c.Name, ind.Mu, ind.Sigma(), can.Tmax.Mu, can.Tmax.Sigma(), mc.Mu, mc.Sigma)
+	}
+
+	fmt.Println(`
+Reading the rows:
+ - tree7: no paths share gates, so all three agree — the paper's
+   assumption is exact on trees.
+ - fig2: mild reconvergence; the canonical sweep is already exact
+   while independence drifts slightly.
+ - apex2-like: shared logic makes path delays strongly correlated.
+   Independence inflates the mean a few percent and *halves* sigma;
+   the canonical sweep recovers most of both. This is precisely the
+   limitation the paper flags as future work in section 7.`)
+}

@@ -1,0 +1,58 @@
+// Uncertainty: the paper's Table 2/3 experiment — at a fixed mean
+// circuit delay, how much freedom is left in the delay *uncertainty*,
+// and what do the sizings that minimize or maximize it look like?
+//
+// The punchline (paper section 6): at fixed mu there is a whole
+// sigma-interval; minimizing sigma sizes symmetric gates alike and
+// pushes drive toward the output, while maximizing sigma deliberately
+// unbalances the paths so one dominates the max.
+//
+// Run with:
+//
+//	go run ./examples/uncertainty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/sizing"
+)
+
+func main() {
+	circuit := netlist.Tree7()
+	model := delay.MustBind(netlist.MustCompile(circuit), delay.PaperTree())
+	const fixedMu = 6.5 // the paper's middle operating point
+
+	names := []string{"A", "B", "C", "D", "E", "F", "G"}
+	fmt.Printf("tree circuit at fixed mu = %.1f\n\n", fixedMu)
+	fmt.Printf("%-12s %8s %8s  %s\n", "objective", "sigma", "area", "speed factors A..G")
+
+	for _, obj := range []sizing.Objective{
+		sizing.MinArea(),
+		sizing.MinSigma(),
+		sizing.MaxSigma(),
+	} {
+		out, err := sizing.Size(model, sizing.Spec{
+			Objective:   obj,
+			Constraints: []sizing.Constraint{sizing.MuEQ(fixedMu)},
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", obj, err)
+		}
+		fmt.Printf("%-12s %8.3f %8.2f ", obj, out.SigmaTmax, out.SumS)
+		for _, n := range names {
+			fmt.Printf(" %5.2f", out.S[circuit.MustID(n)])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nReading the rows:")
+	fmt.Println(" - min area and min sigma treat the symmetric gate groups")
+	fmt.Println("   {A,B,D,E} and {C,F} identically, factors growing toward G;")
+	fmt.Println("   min sigma is the more extreme version of the same shape.")
+	fmt.Println(" - max sigma unbalances the two subtrees so a single path")
+	fmt.Println("   dominates the statistical max, keeping its variance alive.")
+}

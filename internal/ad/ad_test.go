@@ -1,0 +1,245 @@
+package ad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// fd computes a central finite difference of f at x.
+func fd(f func(float64) float64, x float64) float64 {
+	h := 1e-6 * math.Max(1, math.Abs(x))
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+func TestDualArith(t *testing.T) {
+	x := Var(3)
+	y := Const(2)
+
+	if r := x.Add(y); r.V != 5 || r.D != 1 {
+		t.Errorf("add: %+v", r)
+	}
+	if r := x.Sub(y); r.V != 1 || r.D != 1 {
+		t.Errorf("sub: %+v", r)
+	}
+	if r := x.Mul(x); r.V != 9 || r.D != 6 {
+		t.Errorf("mul: %+v", r)
+	}
+	if r := y.Div(x); !close(r.V, 2.0/3, 1e-15) || !close(r.D, -2.0/9, 1e-15) {
+		t.Errorf("div: %+v", r)
+	}
+	if r := x.Neg(); r.V != -3 || r.D != -1 {
+		t.Errorf("neg: %+v", r)
+	}
+	if r := x.AddConst(4); r.V != 7 || r.D != 1 {
+		t.Errorf("addconst: %+v", r)
+	}
+	if r := x.MulConst(4); r.V != 12 || r.D != 4 {
+		t.Errorf("mulconst: %+v", r)
+	}
+	if r := x.Sqr(); r.V != 9 || r.D != 6 {
+		t.Errorf("sqr: %+v", r)
+	}
+}
+
+func TestDualElementary(t *testing.T) {
+	funcs := []struct {
+		name string
+		dual func(Dual) Dual
+		real func(float64) float64
+		xs   []float64
+	}{
+		{"sqrt", Dual.Sqrt, math.Sqrt, []float64{0.5, 1, 2, 9}},
+		{"exp", Dual.Exp, math.Exp, []float64{-2, 0, 1, 3}},
+		{"log", Dual.Log, math.Log, []float64{0.1, 1, 5}},
+		{"normpdf", Dual.NormPDF,
+			func(x float64) float64 { return invSqrt2Pi * math.Exp(-0.5*x*x) },
+			[]float64{-2, -0.5, 0, 1.3, 3}},
+		{"normcdf", Dual.NormCDF,
+			func(x float64) float64 { return 0.5 * math.Erfc(-x/sqrt2) },
+			[]float64{-2, -0.5, 0, 1.3, 3}},
+	}
+	for _, fn := range funcs {
+		for _, x := range fn.xs {
+			r := fn.dual(Var(x))
+			if !close(r.V, fn.real(x), 1e-13) {
+				t.Errorf("%s(%v).V = %v, want %v", fn.name, x, r.V, fn.real(x))
+			}
+			want := fd(fn.real, x)
+			if !close(r.D, want, 1e-6) {
+				t.Errorf("%s(%v).D = %v, want %v", fn.name, x, r.D, want)
+			}
+		}
+	}
+}
+
+func TestDualChainRule(t *testing.T) {
+	// f(x) = exp(sqrt(x^2 + 1)) at several points, against FD.
+	f := func(x float64) float64 { return math.Exp(math.Sqrt(x*x + 1)) }
+	for _, x := range []float64{-1.5, 0, 0.3, 2} {
+		r := Var(x).Sqr().AddConst(1).Sqrt().Exp()
+		if !close(r.D, fd(f, x), 1e-6) {
+			t.Errorf("chain at %v: %v want %v", x, r.D, fd(f, x))
+		}
+	}
+}
+
+func TestHyperDualMatchesDual(t *testing.T) {
+	// First-order parts of HyperDual must agree with Dual on a
+	// composite expression.
+	f := func(x float64) (Dual, HyperDual) {
+		d := Var(x).Sqr().AddConst(0.5).Log().NormCDF()
+		h := HVar(x, 1, 1).Sqr().AddConst(0.5).Log().NormCDF()
+		return d, h
+	}
+	for _, x := range []float64{0.2, 1, 2.5} {
+		d, h := f(x)
+		if !close(d.V, h.V, 1e-14) || !close(d.D, h.D1, 1e-13) || !close(d.D, h.D2, 1e-13) {
+			t.Errorf("x=%v dual=%+v hyper=%+v", x, d, h)
+		}
+	}
+}
+
+func TestHyperDualSecondDerivative(t *testing.T) {
+	// f(x) = x^3: f'' = 6x.
+	for _, x := range []float64{-2, 0.5, 3} {
+		h := HVar(x, 1, 1)
+		r := h.Mul(h).Mul(h)
+		if !close(r.D12, 6*x, 1e-12) {
+			t.Errorf("d2 x^3 at %v: %v", x, r.D12)
+		}
+	}
+	// f(x) = exp(x): all derivatives exp(x).
+	for _, x := range []float64{-1, 0, 2} {
+		r := HVar(x, 1, 1).Exp()
+		e := math.Exp(x)
+		if !close(r.D12, e, 1e-12) {
+			t.Errorf("d2 exp at %v: %v want %v", x, r.D12, e)
+		}
+	}
+	// f(x) = 1/x: f'' = 2/x^3.
+	for _, x := range []float64{0.5, 2, -3} {
+		r := HVar(x, 1, 1).Recip()
+		if !close(r.D12, 2/(x*x*x), 1e-12) {
+			t.Errorf("d2 1/x at %v: %v", x, r.D12)
+		}
+	}
+	// f(x) = sqrt(x): f'' = -1/(4 x^{3/2}).
+	for _, x := range []float64{0.25, 1, 9} {
+		r := HVar(x, 1, 1).Sqrt()
+		want := -0.25 / math.Pow(x, 1.5)
+		if !close(r.D12, want, 1e-12) {
+			t.Errorf("d2 sqrt at %v: %v want %v", x, r.D12, want)
+		}
+	}
+	// Phi''(x) = -x phi(x).
+	for _, x := range []float64{-1.5, 0, 2} {
+		r := HVar(x, 1, 1).NormCDF()
+		want := -x * invSqrt2Pi * math.Exp(-0.5*x*x)
+		if !close(r.D12, want, 1e-12) {
+			t.Errorf("d2 Phi at %v: %v want %v", x, r.D12, want)
+		}
+	}
+}
+
+func TestHyperDualMixedPartial(t *testing.T) {
+	// f(x,y) = x^2 * y^3; d2f/dxdy = 6 x y^2.
+	f := func(x, y float64) HyperDual {
+		hx := HVar(x, 1, 0)
+		hy := HVar(y, 0, 1)
+		return hx.Sqr().Mul(hy.Mul(hy).Mul(hy))
+	}
+	for _, p := range [][2]float64{{1, 2}, {-0.5, 3}, {2, -1}} {
+		r := f(p[0], p[1])
+		want := 6 * p[0] * p[1] * p[1]
+		if !close(r.D12, want, 1e-12) {
+			t.Errorf("mixed at %v: %v want %v", p, r.D12, want)
+		}
+	}
+}
+
+func TestHyperDualDivIdentity(t *testing.T) {
+	f := func(x, y float64) bool {
+		x = 0.5 + math.Abs(math.Mod(x, 4))
+		y = 0.5 + math.Abs(math.Mod(y, 4))
+		a := HVar(x, 1, 1)
+		b := HConst(y)
+		r := a.Div(b).Mul(b)
+		return close(r.V, x, 1e-12) && close(r.D1, 1, 1e-12) && close(r.D12, 0, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradientHelper(t *testing.T) {
+	// f(x0,x1,x2) = x0*x1 + exp(x2).
+	f := func(a []HyperDual) HyperDual {
+		return a[0].Mul(a[1]).Add(a[2].Exp())
+	}
+	x := []float64{2, 3, 0.5}
+	v, g := Gradient(f, x)
+	if !close(v, 6+math.Exp(0.5), 1e-14) {
+		t.Errorf("value %v", v)
+	}
+	want := []float64{3, 2, math.Exp(0.5)}
+	for i := range want {
+		if !close(g[i], want[i], 1e-13) {
+			t.Errorf("g[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestHessianHelper(t *testing.T) {
+	// f(x,y) = x^2 y + y^3.
+	f := func(a []HyperDual) HyperDual {
+		return a[0].Sqr().Mul(a[1]).Add(a[1].Mul(a[1]).Mul(a[1]))
+	}
+	x := []float64{1.5, -0.5}
+	v, g, h := Hessian(f, x)
+	wantV := 1.5*1.5*-0.5 + math.Pow(-0.5, 3)
+	if !close(v, wantV, 1e-14) {
+		t.Errorf("v = %v want %v", v, wantV)
+	}
+	wantG := []float64{2 * 1.5 * -0.5, 1.5*1.5 + 3*0.25}
+	for i := range wantG {
+		if !close(g[i], wantG[i], 1e-13) {
+			t.Errorf("g[%d] = %v want %v", i, g[i], wantG[i])
+		}
+	}
+	wantH := [][]float64{
+		{2 * -0.5, 2 * 1.5},
+		{2 * 1.5, 6 * -0.5},
+	}
+	for i := range wantH {
+		for j := range wantH[i] {
+			if !close(h[i][j], wantH[i][j], 1e-12) {
+				t.Errorf("h[%d][%d] = %v want %v", i, j, h[i][j], wantH[i][j])
+			}
+		}
+	}
+}
+
+func TestHessianSymmetry(t *testing.T) {
+	f := func(a []HyperDual) HyperDual {
+		// A messy composite to stress symmetry.
+		return a[0].Mul(a[1]).NormCDF().Add(a[2].Sqr().AddConst(1).Sqrt().Mul(a[0]))
+	}
+	x := []float64{0.7, -1.2, 0.3}
+	_, _, h := Hessian(f, x)
+	for i := range h {
+		for j := range h[i] {
+			if h[i][j] != h[j][i] {
+				t.Errorf("asymmetric h[%d][%d]=%v h[%d][%d]=%v", i, j, h[i][j], j, i, h[j][i])
+			}
+		}
+	}
+}

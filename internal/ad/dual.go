@@ -1,0 +1,91 @@
+// Package ad implements forward-mode automatic differentiation with
+// dual and hyper-dual numbers.
+//
+// The gate-sizing formulation of Jacobs & Berkelaar requires exact
+// first and second derivatives of the statistical maximum operator
+// (the paper stresses that only analytical derivatives make the
+// nonlinear program tractable for a Newton-type solver). The hot-path
+// derivatives in internal/stats are hand-derived closed forms; this
+// package supplies machine-precision reference derivatives used to
+// (a) verify those closed forms in tests and (b) assemble exact
+// element Hessians for the full-space formulation, where a closed form
+// would be long and error-prone.
+//
+// Dual carries one directional first derivative; HyperDual carries two
+// directions and the mixed second derivative, so a full n-variable
+// Hessian needs n(n+1)/2 evaluations.
+package ad
+
+import "math"
+
+// Dual is a first-order dual number v + d*eps with eps^2 = 0.
+// Propagating one through a function yields the directional derivative
+// of the function along the seed direction.
+type Dual struct {
+	V float64 // value
+	D float64 // first derivative along the seeded direction
+}
+
+// Const returns a dual constant (zero derivative).
+func Const(v float64) Dual { return Dual{V: v} }
+
+// Var returns a dual seeded as the differentiation variable.
+func Var(v float64) Dual { return Dual{V: v, D: 1} }
+
+// Add returns a + b.
+func (a Dual) Add(b Dual) Dual { return Dual{a.V + b.V, a.D + b.D} }
+
+// Sub returns a - b.
+func (a Dual) Sub(b Dual) Dual { return Dual{a.V - b.V, a.D - b.D} }
+
+// Mul returns a * b.
+func (a Dual) Mul(b Dual) Dual { return Dual{a.V * b.V, a.D*b.V + a.V*b.D} }
+
+// Div returns a / b.
+func (a Dual) Div(b Dual) Dual {
+	return Dual{a.V / b.V, (a.D*b.V - a.V*b.D) / (b.V * b.V)}
+}
+
+// Neg returns -a.
+func (a Dual) Neg() Dual { return Dual{-a.V, -a.D} }
+
+// AddConst returns a + c.
+func (a Dual) AddConst(c float64) Dual { return Dual{a.V + c, a.D} }
+
+// MulConst returns c * a.
+func (a Dual) MulConst(c float64) Dual { return Dual{c * a.V, c * a.D} }
+
+// Sqrt returns sqrt(a).
+func (a Dual) Sqrt() Dual {
+	s := math.Sqrt(a.V)
+	return Dual{s, a.D / (2 * s)}
+}
+
+// Exp returns exp(a).
+func (a Dual) Exp() Dual {
+	e := math.Exp(a.V)
+	return Dual{e, a.D * e}
+}
+
+// Log returns log(a).
+func (a Dual) Log() Dual { return Dual{math.Log(a.V), a.D / a.V} }
+
+// Sqr returns a*a.
+func (a Dual) Sqr() Dual { return Dual{a.V * a.V, 2 * a.V * a.D} }
+
+// NormPDF returns the standard normal density of a.
+func (a Dual) NormPDF() Dual {
+	p := invSqrt2Pi * math.Exp(-0.5*a.V*a.V)
+	return Dual{p, -a.V * p * a.D}
+}
+
+// NormCDF returns the standard normal CDF of a; its derivative is the
+// density.
+func (a Dual) NormCDF() Dual {
+	return Dual{0.5 * math.Erfc(-a.V/sqrt2), invSqrt2Pi * math.Exp(-0.5*a.V*a.V) * a.D}
+}
+
+const (
+	invSqrt2Pi = 0.3989422804014326779399460599343818684758586311649
+	sqrt2      = 1.4142135623730950488016887242096980785696718753769
+)

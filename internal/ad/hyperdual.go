@@ -1,0 +1,180 @@
+package ad
+
+import "math"
+
+// HyperDual is a second-order number v + d1*e1 + d2*e2 + d12*e1*e2
+// with e1^2 = e2^2 = 0 and e1*e2 != 0. Seeding e1 along direction u
+// and e2 along direction w and pushing the number through a smooth
+// function f yields, to machine precision,
+//
+//	V   = f(x)
+//	D1  = grad f . u
+//	D2  = grad f . w
+//	D12 = u^T (hess f) w
+//
+// which is exactly what is needed to assemble element Hessians.
+type HyperDual struct {
+	V   float64
+	D1  float64
+	D2  float64
+	D12 float64
+}
+
+// HConst returns a hyper-dual constant.
+func HConst(v float64) HyperDual { return HyperDual{V: v} }
+
+// HVar returns a hyper-dual seeded along both directions with weights
+// u (for e1) and w (for e2). Use HVar(x, 1, 0) / HVar(x, 0, 1) to pick
+// single coordinate directions.
+func HVar(v, u, w float64) HyperDual { return HyperDual{V: v, D1: u, D2: w} }
+
+// Add returns a + b.
+func (a HyperDual) Add(b HyperDual) HyperDual {
+	return HyperDual{a.V + b.V, a.D1 + b.D1, a.D2 + b.D2, a.D12 + b.D12}
+}
+
+// Sub returns a - b.
+func (a HyperDual) Sub(b HyperDual) HyperDual {
+	return HyperDual{a.V - b.V, a.D1 - b.D1, a.D2 - b.D2, a.D12 - b.D12}
+}
+
+// Mul returns a * b.
+func (a HyperDual) Mul(b HyperDual) HyperDual {
+	return HyperDual{
+		a.V * b.V,
+		a.D1*b.V + a.V*b.D1,
+		a.D2*b.V + a.V*b.D2,
+		a.D12*b.V + a.D1*b.D2 + a.D2*b.D1 + a.V*b.D12,
+	}
+}
+
+// Recip returns 1 / a.
+func (a HyperDual) Recip() HyperDual {
+	iv := 1 / a.V
+	iv2 := iv * iv
+	return HyperDual{
+		iv,
+		-a.D1 * iv2,
+		-a.D2 * iv2,
+		(2*a.D1*a.D2*iv - a.D12) * iv2,
+	}
+}
+
+// Div returns a / b.
+func (a HyperDual) Div(b HyperDual) HyperDual { return a.Mul(b.Recip()) }
+
+// Neg returns -a.
+func (a HyperDual) Neg() HyperDual { return HyperDual{-a.V, -a.D1, -a.D2, -a.D12} }
+
+// AddConst returns a + c.
+func (a HyperDual) AddConst(c float64) HyperDual {
+	return HyperDual{a.V + c, a.D1, a.D2, a.D12}
+}
+
+// MulConst returns c * a.
+func (a HyperDual) MulConst(c float64) HyperDual {
+	return HyperDual{c * a.V, c * a.D1, c * a.D2, c * a.D12}
+}
+
+// apply1 lifts a scalar function with known first and second
+// derivatives (f, fp, fpp at a.V) through the hyper-dual chain rule.
+func (a HyperDual) apply1(f, fp, fpp float64) HyperDual {
+	return HyperDual{
+		f,
+		fp * a.D1,
+		fp * a.D2,
+		fp*a.D12 + fpp*a.D1*a.D2,
+	}
+}
+
+// Sqrt returns sqrt(a).
+func (a HyperDual) Sqrt() HyperDual {
+	s := math.Sqrt(a.V)
+	return a.apply1(s, 0.5/s, -0.25/(s*a.V))
+}
+
+// Exp returns exp(a).
+func (a HyperDual) Exp() HyperDual {
+	e := math.Exp(a.V)
+	return a.apply1(e, e, e)
+}
+
+// Log returns log(a).
+func (a HyperDual) Log() HyperDual {
+	return a.apply1(math.Log(a.V), 1/a.V, -1/(a.V*a.V))
+}
+
+// Sqr returns a*a.
+func (a HyperDual) Sqr() HyperDual { return a.Mul(a) }
+
+// NormPDF returns the standard normal density of a;
+// phi'(x) = -x phi(x), phi”(x) = (x^2-1) phi(x).
+func (a HyperDual) NormPDF() HyperDual {
+	p := invSqrt2Pi * math.Exp(-0.5*a.V*a.V)
+	return a.apply1(p, -a.V*p, (a.V*a.V-1)*p)
+}
+
+// NormCDF returns the standard normal CDF of a;
+// Phi'(x) = phi(x), Phi”(x) = -x phi(x).
+func (a HyperDual) NormCDF() HyperDual {
+	p := invSqrt2Pi * math.Exp(-0.5*a.V*a.V)
+	return a.apply1(0.5*math.Erfc(-a.V/sqrt2), p, -a.V*p)
+}
+
+// Gradient evaluates f at x with each coordinate seeded in turn and
+// returns f(x) and its gradient. f must treat its input as hyper-dual
+// coordinates and be smooth at x.
+func Gradient(f func([]HyperDual) HyperDual, x []float64) (float64, []float64) {
+	n := len(x)
+	g := make([]float64, n)
+	args := make([]HyperDual, n)
+	var v float64
+	for i := 0; i < n; i++ {
+		for j := range args {
+			args[j] = HConst(x[j])
+		}
+		args[i] = HVar(x[i], 1, 0)
+		r := f(args)
+		v = r.V
+		g[i] = r.D1
+	}
+	if n == 0 {
+		v = f(args).V
+	}
+	return v, g
+}
+
+// Hessian evaluates f at x and returns its value, gradient and dense
+// Hessian (row-major, n x n, symmetric). It costs n(n+1)/2 function
+// evaluations.
+func Hessian(f func([]HyperDual) HyperDual, x []float64) (v float64, g []float64, h [][]float64) {
+	n := len(x)
+	g = make([]float64, n)
+	h = make([][]float64, n)
+	for i := range h {
+		h[i] = make([]float64, n)
+	}
+	args := make([]HyperDual, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			for k := range args {
+				args[k] = HConst(x[k])
+			}
+			if i == j {
+				args[i] = HVar(x[i], 1, 1)
+			} else {
+				args[i] = HVar(x[i], 1, 0)
+				args[j] = HVar(x[j], 0, 1)
+			}
+			r := f(args)
+			v = r.V
+			g[i] = r.D1
+			h[i][j] = r.D12
+			h[j][i] = r.D12
+		}
+	}
+	if n == 0 {
+		v = f(args).V
+	}
+	return v, g, h
+}

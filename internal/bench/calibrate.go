@@ -1,0 +1,208 @@
+// Package bench is the experiment harness: it regenerates the paper's
+// Table 1 (large-benchmark sizing formulations), Table 2 (tree-circuit
+// objective study), Table 3 (tree speed factors) and the section 4
+// timing-yield claim, and calibrates the free gate parameters the
+// paper does not state.
+package bench
+
+import (
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/sizing"
+	"repro/internal/ssta"
+)
+
+// CalibrationTargets are the paper's observable anchors for the
+// Figure 3 tree circuit with sigma = 0.25*mu and limit = 3.
+type CalibrationTargets struct {
+	// MuUnsized is the mean circuit delay at S = 1 (Table 2: 7.4).
+	MuUnsized float64
+	// MuFastest is the mean circuit delay of the min-mu sizing
+	// (Table 2: 5.4 at SumS = 21, every gate at the limit).
+	MuFastest float64
+	// AreaFactors are the per-gate speed factors of the min-area
+	// sizing at the middle fixed mean (Table 3, first row), in the
+	// order A, B, C, D, E, F, G.
+	AreaFactors [7]float64
+	// MuFixed is the fixed mean the AreaFactors row was measured at
+	// (Table 3 caption: 6.5).
+	MuFixed float64
+}
+
+// PaperTargets returns the values reported in the paper.
+func PaperTargets() CalibrationTargets {
+	return CalibrationTargets{
+		MuUnsized:   7.4,
+		MuFastest:   5.4,
+		AreaFactors: [7]float64{1.22, 1.22, 1.45, 1.22, 1.22, 1.45, 1.74},
+		MuFixed:     6.5,
+	}
+}
+
+// TreeParams are the free parameters of the single-NAND2 library used
+// by the tree experiments (the paper never states its process
+// constants; the delay coefficient c is fixed at 1 because it is
+// redundant against the capacitances).
+type TreeParams struct {
+	TInt       float64 // internal delay
+	WireBase   float64 // fixed wiring capacitance per gate
+	OutputLoad float64 // extra load on primary-output gates
+	CIn        float64 // input pin capacitance
+}
+
+// Library materializes the parameters as a delay.Library.
+func (tp TreeParams) Library() *delay.Library {
+	l := delay.NewLibrary(1.0, tp.WireBase, 0, tp.OutputLoad)
+	l.Add(delay.CellType{Name: "nand2", Fanin: 2, TInt: tp.TInt, CIn: tp.CIn})
+	return l
+}
+
+// Loss evaluates how far the parameters land from the targets: squared
+// errors on the two mean-delay anchors plus a weighted squared error
+// on the Table 3 min-area speed factors.
+func (tp TreeParams) Loss(tg CalibrationTargets) float64 {
+	if tp.TInt < 0.05 || tp.WireBase < 0 || tp.OutputLoad < 0 || tp.CIn < 0.01 {
+		return 1e6
+	}
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), tp.Library())
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+
+	fast, err := sizing.Size(m, sizing.Spec{Objective: sizing.MinMu()})
+	if err != nil {
+		return 1e6
+	}
+	loss := sq(unit.Mu-tg.MuUnsized) + sq(fast.MuTmax-tg.MuFastest)
+	// The paper's min-mu row sits at SumS = 21: penalize interior
+	// optima strongly so calibrated parameters keep the fully-sized
+	// corner optimal.
+	if fast.SumS < 20.9 {
+		loss += sq(21 - fast.SumS)
+	}
+
+	area, err := sizing.Size(m, sizing.Spec{
+		Objective:   sizing.MinArea(),
+		Constraints: []sizing.Constraint{sizing.MuEQ(tg.MuFixed)},
+	})
+	if err != nil {
+		return 1e6
+	}
+	c := m.G.C
+	names := [7]string{"A", "B", "C", "D", "E", "F", "G"}
+	for i, n := range names {
+		loss += 0.25 * sq(area.S[c.MustID(n)]-tg.AreaFactors[i])
+	}
+	return loss
+}
+
+func sq(x float64) float64 { return x * x }
+
+// CalibrateTree fits the tree parameters to the targets with a
+// Nelder-Mead simplex search (the loss involves inner optimization
+// solves, so derivative-free search is the right tool). The search is
+// deterministic; iters around 120 suffices.
+func CalibrateTree(tg CalibrationTargets, start TreeParams, iters int) TreeParams {
+	dims := 4
+	get := func(p TreeParams, i int) float64 {
+		switch i {
+		case 0:
+			return p.TInt
+		case 1:
+			return p.WireBase
+		case 2:
+			return p.OutputLoad
+		default:
+			return p.CIn
+		}
+	}
+	mk := func(v []float64) TreeParams {
+		return TreeParams{TInt: v[0], WireBase: v[1], OutputLoad: v[2], CIn: v[3]}
+	}
+
+	// Initial simplex around the start.
+	pts := make([][]float64, dims+1)
+	loss := make([]float64, dims+1)
+	for i := range pts {
+		pts[i] = make([]float64, dims)
+		for j := 0; j < dims; j++ {
+			pts[i][j] = get(start, j)
+			if i == j+1 {
+				pts[i][j] += 0.3 * math.Max(0.2, pts[i][j])
+			}
+		}
+		loss[i] = mk(pts[i]).Loss(tg)
+	}
+
+	for it := 0; it < iters; it++ {
+		// Order: best first.
+		for i := 1; i < len(pts); i++ {
+			for j := i; j > 0 && loss[j] < loss[j-1]; j-- {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+				loss[j], loss[j-1] = loss[j-1], loss[j]
+			}
+		}
+		worst := dims
+		// Centroid of all but the worst.
+		cen := make([]float64, dims)
+		for i := 0; i < worst; i++ {
+			for j := 0; j < dims; j++ {
+				cen[j] += pts[i][j] / float64(worst)
+			}
+		}
+		blend := func(alpha float64) ([]float64, float64) {
+			v := make([]float64, dims)
+			for j := 0; j < dims; j++ {
+				v[j] = cen[j] + alpha*(pts[worst][j]-cen[j])
+			}
+			return v, mk(v).Loss(tg)
+		}
+		refl, fRefl := blend(-1)
+		switch {
+		case fRefl < loss[0]:
+			if exp, fExp := blend(-2); fExp < fRefl {
+				pts[worst], loss[worst] = exp, fExp
+			} else {
+				pts[worst], loss[worst] = refl, fRefl
+			}
+		case fRefl < loss[worst-1]:
+			pts[worst], loss[worst] = refl, fRefl
+		default:
+			if con, fCon := blend(0.5); fCon < loss[worst] {
+				pts[worst], loss[worst] = con, fCon
+			} else {
+				// Shrink toward the best point.
+				for i := 1; i <= worst; i++ {
+					for j := 0; j < dims; j++ {
+						pts[i][j] = pts[0][j] + 0.5*(pts[i][j]-pts[0][j])
+					}
+					loss[i] = mk(pts[i]).Loss(tg)
+				}
+			}
+		}
+	}
+	best := 0
+	for i := 1; i < len(pts); i++ {
+		if loss[i] < loss[best] {
+			best = i
+		}
+	}
+	return mk(pts[best])
+}
+
+// CalibratedTreeParams returns the parameters found by running
+// CalibrateTree against PaperTargets (the calibration test re-derives
+// and checks them; delay.PaperTree bakes in the same values). They hit
+// the paper's anchors remarkably well: unsized mu 7.38 / sigma 0.82
+// (paper 7.4 / 0.811), fully sized mu 5.39 at SumS = 21 (paper 5.4 /
+// 21), and min-area factors at mu = 6.5 of (1.24, 1.47, 1.79) for the
+// (input, middle, output) gate groups against the paper's
+// (1.22, 1.45, 1.74) — including the increasing-toward-output pattern.
+func CalibratedTreeParams() TreeParams {
+	return TreeParams{
+		TInt:       1.2157916775901505,
+		WireBase:   0.845918116422389,
+		OutputLoad: 0.18312769990508404,
+		CIn:        0.14950378854004523,
+	}
+}

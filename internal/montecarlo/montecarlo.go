@@ -1,0 +1,192 @@
+// Package montecarlo implements sampling-based statistical timing
+// analysis: per-sample gate delays are drawn from their distributions
+// and propagated with deterministic max/add. This is the approach of
+// the paper's reference [9] (Jyu), which the paper dismisses for
+// optimization inner loops as too slow — a claim quantified by the
+// ablation benchmarks — but which serves here as the ground-truth
+// validator for the analytic operators: Monte Carlo makes no
+// independence assumption across reconvergent paths, so the gap
+// between its estimate and the analytic sweep bounds the error the
+// paper accepts in section 3.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/delay"
+	"repro/internal/dist"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// Options configures a Monte Carlo run.
+type Options struct {
+	// Samples is the number of circuit delay samples to draw.
+	Samples int
+	// Seed seeds the generator; equal options reproduce runs exactly.
+	Seed int64
+	// TruncateAtZero redraws negative gate-delay samples at zero,
+	// acknowledging that physical delays are non-negative even though
+	// the Gaussian model has a left tail.
+	TruncateAtZero bool
+	// KeepSamples retains the per-sample circuit delays (sorted) in
+	// the result for quantile and KS computations.
+	KeepSamples bool
+}
+
+// Result summarizes a Monte Carlo timing run.
+type Result struct {
+	// Mu and Sigma are the sample moments of the circuit delay.
+	Mu, Sigma float64
+	// Samples holds the sorted circuit delays if requested.
+	Samples []float64
+}
+
+// Run samples the circuit delay distribution of model m under speed
+// factors S.
+func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
+	if opt.Samples < 1 {
+		return nil, fmt.Errorf("montecarlo: need at least 1 sample, got %d", opt.Samples)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	g := m.G
+	n := len(g.C.Nodes)
+
+	// Pre-compute per-gate delay distributions once; they do not vary
+	// across samples.
+	gateMu := make([]float64, n)
+	gateSigma := make([]float64, n)
+	for _, id := range g.C.GateIDs() {
+		mv := m.GateMV(id, S)
+		gateMu[id] = mv.Mu
+		gateSigma[id] = mv.Sigma()
+	}
+
+	arr := make([]float64, n)
+	var keep []float64
+	if opt.KeepSamples {
+		keep = make([]float64, 0, opt.Samples)
+	}
+	var mean, m2 float64
+	for s := 0; s < opt.Samples; s++ {
+		for _, id := range g.Topo {
+			nd := &g.C.Nodes[id]
+			if nd.Kind == netlist.KindInput {
+				a := m.Arrival[id]
+				arr[id] = a.Mu + a.Sigma()*rng.NormFloat64()
+				continue
+			}
+			u := arr[nd.Fanin[0]] + m.PinOff(id, 0)
+			for k, f := range nd.Fanin[1:] {
+				if a := arr[f] + m.PinOff(id, k+1); a > u {
+					u = a
+				}
+			}
+			d := gateMu[id] + gateSigma[id]*rng.NormFloat64()
+			if opt.TruncateAtZero && d < 0 {
+				d = 0
+			}
+			arr[id] = u + d
+		}
+		tmax := arr[g.C.Outputs[0]]
+		for _, o := range g.C.Outputs[1:] {
+			if a := arr[o]; a > tmax {
+				tmax = a
+			}
+		}
+		d := tmax - mean
+		mean += d / float64(s+1)
+		m2 += d * (tmax - mean)
+		if opt.KeepSamples {
+			keep = append(keep, tmax)
+		}
+	}
+	r := &Result{Mu: mean, Sigma: sqrt(m2 / float64(opt.Samples))}
+	if opt.KeepSamples {
+		sort.Float64s(keep)
+		r.Samples = keep
+	}
+	return r, nil
+}
+
+// Yield returns the fraction of samples meeting the deadline. The
+// result must have been produced with KeepSamples set.
+func (r *Result) Yield(deadline float64) float64 {
+	if r.Samples == nil {
+		panic("montecarlo: Yield requires KeepSamples")
+	}
+	// First index with sample > deadline.
+	i := sort.SearchFloat64s(r.Samples, deadline)
+	// SearchFloat64s returns the first index with s >= deadline;
+	// samples equal to the deadline meet it, so advance over ties.
+	for i < len(r.Samples) && r.Samples[i] == deadline {
+		i++
+	}
+	return float64(i) / float64(len(r.Samples))
+}
+
+// Quantile returns the empirical p-quantile of the sampled delays.
+func (r *Result) Quantile(p float64) float64 {
+	if r.Samples == nil {
+		panic("montecarlo: Quantile requires KeepSamples")
+	}
+	if p <= 0 {
+		return r.Samples[0]
+	}
+	if p >= 1 {
+		return r.Samples[len(r.Samples)-1]
+	}
+	i := int(p * float64(len(r.Samples)))
+	return r.Samples[i]
+}
+
+// KSAgainst returns the Kolmogorov-Smirnov distance between the
+// sampled delays and the normal law with the given moments, the
+// module's measure of "how Gaussian" the true circuit delay is
+// (paper section 3 argues the normal approximation is adequate).
+func (r *Result) KSAgainst(mv stats.MV) float64 {
+	if r.Samples == nil {
+		panic("montecarlo: KSAgainst requires KeepSamples")
+	}
+	return dist.KSNormal(r.Samples, mv.Normal())
+}
+
+// Compare holds the analytic-vs-Monte-Carlo moment gap for a circuit.
+type Compare struct {
+	Analytic stats.MV
+	MC       Result
+	// MuErr and SigmaErr are |analytic - MC| for mean and sigma.
+	MuErr, SigmaErr float64
+}
+
+// CompareAnalytic runs Monte Carlo and reports the gap to the analytic
+// moments computed by the caller (typically ssta.Analyze(...).Tmax).
+func CompareAnalytic(m *delay.Model, S []float64, analytic stats.MV, opt Options) (*Compare, error) {
+	r, err := Run(m, S, opt)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compare{Analytic: analytic, MC: *r}
+	c.MuErr = abs(analytic.Mu - r.Mu)
+	c.SigmaErr = abs(analytic.Sigma() - r.Sigma)
+	return c, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sqrt guards math.Sqrt so a tiny negative from Welford rounding
+// cannot produce NaN.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

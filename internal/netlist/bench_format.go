@@ -1,0 +1,178 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadBench parses an ISCAS-85 style .bench netlist:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(f)
+//	f = NAND(a, b)
+//	g = NOT(f)
+//
+// Gate functions map onto the default library's type names by arity
+// (NAND with two inputs becomes nand2, and so on). Sequential
+// elements (DFF) are rejected: the sizing model is combinational.
+// Gates may be declared in any order.
+func ReadBench(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		inputs  []string
+		outputs []string
+		gates   []blifGate
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+			name, err := parenArg(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, name)
+		case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+			name, err := parenArg(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, name)
+		default:
+			g, err := parseBenchGate(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gates = append(gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return assembleNetlist("bench", inputs, outputs, gates)
+}
+
+// parenArg extracts NAME from "KEYWORD(NAME)".
+func parenArg(line string, lineNo int) (string, error) {
+	open := strings.IndexByte(line, '(')
+	closing := strings.LastIndexByte(line, ')')
+	if open < 0 || closing <= open+1 {
+		return "", fmt.Errorf("bench line %d: malformed %q", lineNo, line)
+	}
+	return strings.TrimSpace(line[open+1 : closing]), nil
+}
+
+// benchTypeByFn maps a .bench function name and arity to a library
+// type name.
+func benchTypeByFn(fn string, arity, lineNo int) (string, error) {
+	fn = strings.ToUpper(fn)
+	switch fn {
+	case "NOT", "INV":
+		if arity != 1 {
+			return "", fmt.Errorf("bench line %d: NOT with %d inputs", lineNo, arity)
+		}
+		return "inv", nil
+	case "BUF", "BUFF":
+		if arity != 1 {
+			return "", fmt.Errorf("bench line %d: BUFF with %d inputs", lineNo, arity)
+		}
+		return "buf", nil
+	case "DFF", "LATCH":
+		return "", fmt.Errorf("bench line %d: sequential element %s not supported", lineNo, fn)
+	case "NAND", "NOR", "AND", "OR", "XOR", "XNOR":
+		if arity < 2 || arity > 4 {
+			return "", fmt.Errorf("bench line %d: %s with %d inputs (supported: 2-4)", lineNo, fn, arity)
+		}
+		return fmt.Sprintf("%s%d", strings.ToLower(fn), arity), nil
+	default:
+		return "", fmt.Errorf("bench line %d: unknown function %q", lineNo, fn)
+	}
+}
+
+// parseBenchGate parses "out = FN(in1, in2, ...)".
+func parseBenchGate(line string, lineNo int) (blifGate, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq <= 0 {
+		return blifGate{}, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+	}
+	out := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	closing := strings.LastIndexByte(rhs, ')')
+	if open <= 0 || closing <= open {
+		return blifGate{}, fmt.Errorf("bench line %d: malformed function %q", lineNo, rhs)
+	}
+	fn := strings.TrimSpace(rhs[:open])
+	var fanin []string
+	for _, a := range strings.Split(rhs[open+1:closing], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return blifGate{}, fmt.Errorf("bench line %d: empty operand", lineNo)
+		}
+		fanin = append(fanin, a)
+	}
+	typ, err := benchTypeByFn(fn, len(fanin), lineNo)
+	if err != nil {
+		return blifGate{}, err
+	}
+	return blifGate{typ: typ, fanin: fanin, output: out, line: lineNo}, nil
+}
+
+// WriteBench renders the circuit in .bench format. Gate types must be
+// expressible as .bench functions (the default library's names are).
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	for _, nd := range c.Nodes {
+		if nd.Kind == KindInput {
+			fmt.Fprintf(bw, "INPUT(%s)\n", nd.Name)
+		}
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[o].Name)
+	}
+	for _, nd := range c.Nodes {
+		if nd.Kind != KindGate {
+			continue
+		}
+		fn, err := benchFnByType(nd.Type)
+		if err != nil {
+			return fmt.Errorf("netlist: gate %q: %w", nd.Name, err)
+		}
+		names := make([]string, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			names[i] = c.Nodes[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", nd.Name, fn, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// benchFnByType inverts benchTypeByFn.
+func benchFnByType(typ string) (string, error) {
+	switch typ {
+	case "inv":
+		return "NOT", nil
+	case "buf":
+		return "BUFF", nil
+	}
+	base := strings.TrimRight(typ, "234")
+	switch base {
+	case "nand", "nor", "and", "or", "xor", "xnor":
+		return strings.ToUpper(base), nil
+	}
+	return "", fmt.Errorf("type %q has no .bench function", typ)
+}

@@ -1,0 +1,129 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleBench is ISCAS-C17 (the classic 6-NAND benchmark), with gates
+// deliberately out of declaration order.
+const sampleBench = `
+# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+`
+
+func TestReadBenchC17(t *testing.T) {
+	c, err := ReadBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 5 || c.NumGates() != 6 || len(c.Outputs) != 2 {
+		t.Fatalf("c17 structure: %d/%d/%d", c.NumInputs(), c.NumGates(), len(c.Outputs))
+	}
+	g22 := c.Nodes[c.MustID("22")]
+	if g22.Type != "nand2" || len(g22.Fanin) != 2 {
+		t.Errorf("gate 22 = %+v", g22)
+	}
+	s, err := c.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth != 3 {
+		t.Errorf("c17 depth = %d, want 3", s.Depth)
+	}
+}
+
+func TestReadBenchFunctions(t *testing.T) {
+	in := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+n1 = NOT(a)
+n2 = BUFF(b)
+n3 = AND(a, b, c)
+n4 = OR(n1, n2)
+n5 = XOR(n3, n4)
+z = XNOR(n5, c)
+`
+	cir, err := ReadBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"n1": "inv", "n2": "buf", "n3": "and3", "n4": "or2",
+		"n5": "xor2", "z": "xnor2",
+	}
+	for name, typ := range want {
+		if got := cir.Nodes[cir.MustID(name)].Type; got != typ {
+			t.Errorf("%s type = %q, want %q", name, got, typ)
+		}
+	}
+}
+
+func TestReadBenchErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"dff", "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"},
+		{"unknown fn", "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n"},
+		{"bad arity not", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NOT(a, b)\n"},
+		{"bad arity nand", "INPUT(a)\nOUTPUT(z)\nz = NAND(a)\n"},
+		{"too many", "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z)\nz = NAND(a,b,c,d,e)\n"},
+		{"malformed paren", "INPUT a\n"},
+		{"no assignment", "INPUT(a)\nz NAND(a, a)\n"},
+		{"empty operand", "INPUT(a)\nOUTPUT(z)\nz = NAND(a, )\n"},
+		{"undriven", "INPUT(a)\nOUTPUT(z)\nz = NAND(a, ghost)\n"},
+		{"double drive", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\nz = NAND(b, a)\n"},
+		{"cycle", "INPUT(a)\nOUTPUT(x)\nx = NAND(a, y)\ny = NOT(x)\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBench(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	orig, err := ReadBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadBench(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	sa, _ := orig.ComputeStats()
+	sb, _ := rt.ComputeStats()
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestWriteBenchRejectsUnmappableType(t *testing.T) {
+	c := New("t")
+	c.AddInput("a")
+	c.AddGate("g", "weird", "a")
+	c.MarkOutput("g")
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, c); err == nil {
+		t.Error("unmappable type accepted")
+	}
+}

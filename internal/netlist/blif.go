@@ -1,0 +1,233 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadBLIF parses a technology-mapped BLIF netlist (the format the
+// MCNC benchmarks of the paper's Table 1 are distributed in after
+// mapping). Supported constructs:
+//
+//	.model NAME
+//	.inputs a b c        (accumulating, with \ continuation)
+//	.outputs x y
+//	.gate TYPE pin=net pin=net ... opin=net
+//	.end
+//
+// The gate's output pin is the assignment named O, Z, Y, OUT or Q
+// (case-insensitive); if none matches, the last assignment is taken.
+// Gates are named after their output net. Unmapped constructs
+// (.names, .latch, .subckt) are rejected: this reader is for mapped
+// combinational netlists only.
+func ReadBLIF(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var (
+		name    = "blif"
+		inputs  []string
+		outputs []string
+		gates   []blifGate
+		lineNo  int
+		pending string
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if pending != "" {
+			line = pending + " " + line
+			pending = ""
+		}
+		if strings.HasSuffix(line, "\\") {
+			pending = strings.TrimSpace(strings.TrimSuffix(line, "\\"))
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				name = fields[1]
+			}
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".gate":
+			g, err := parseBlifGate(fields, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			gates = append(gates, g)
+		case ".end":
+			// Accept and keep scanning; trailing content is ignored
+			// as in common BLIF tooling.
+		case ".names", ".latch", ".subckt":
+			return nil, fmt.Errorf("blif line %d: %s is not supported (mapped netlists only)", lineNo, fields[0])
+		default:
+			return nil, fmt.Errorf("blif line %d: unknown construct %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return assembleNetlist(name, inputs, outputs, gates)
+}
+
+type blifGate struct {
+	typ    string
+	fanin  []string // input nets in pin order
+	output string   // output net
+	line   int
+}
+
+var outputPinNames = map[string]bool{
+	"o": true, "z": true, "y": true, "out": true, "q": true,
+}
+
+func parseBlifGate(fields []string, lineNo int) (blifGate, error) {
+	if len(fields) < 3 {
+		return blifGate{}, fmt.Errorf("blif line %d: .gate needs a type and pin assignments", lineNo)
+	}
+	g := blifGate{typ: strings.ToLower(fields[1]), line: lineNo}
+	type pin struct{ name, net string }
+	var pins []pin
+	for _, a := range fields[2:] {
+		eq := strings.IndexByte(a, '=')
+		if eq <= 0 || eq == len(a)-1 {
+			return blifGate{}, fmt.Errorf("blif line %d: bad pin assignment %q", lineNo, a)
+		}
+		pins = append(pins, pin{strings.ToLower(a[:eq]), a[eq+1:]})
+	}
+	outIdx := len(pins) - 1
+	for i, p := range pins {
+		if outputPinNames[p.name] {
+			outIdx = i
+			break
+		}
+	}
+	for i, p := range pins {
+		if i == outIdx {
+			g.output = p.net
+		} else {
+			g.fanin = append(g.fanin, p.net)
+		}
+	}
+	if g.output == "" {
+		return blifGate{}, fmt.Errorf("blif line %d: gate has no output pin", lineNo)
+	}
+	return g, nil
+}
+
+// assembleNetlist orders collected gate records topologically (BLIF
+// and .bench place no ordering requirement on gate lines) and builds
+// the Circuit. Gates are named after their output nets.
+func assembleNetlist(name string, inputs, outputs []string, gates []blifGate) (*Circuit, error) {
+	c := New(name)
+	for _, in := range inputs {
+		if _, err := c.AddInput(in); err != nil {
+			return nil, err
+		}
+	}
+	driver := make(map[string]int, len(gates)) // net -> gate index
+	for i, g := range gates {
+		if _, dup := driver[g.output]; dup {
+			return nil, fmt.Errorf("blif line %d: net %q driven twice", g.line, g.output)
+		}
+		if _, isIn := c.Lookup(g.output); isIn {
+			return nil, fmt.Errorf("blif line %d: net %q drives a primary input", g.line, g.output)
+		}
+		driver[g.output] = i
+	}
+	// Kahn's algorithm over the gate dependency graph.
+	indeg := make([]int, len(gates))
+	succ := make([][]int, len(gates))
+	for i, g := range gates {
+		for _, f := range g.fanin {
+			if j, ok := driver[f]; ok {
+				indeg[i]++
+				succ[j] = append(succ[j], i)
+			} else if _, isIn := c.Lookup(f); !isIn {
+				return nil, fmt.Errorf("blif line %d: net %q is undriven", g.line, f)
+			}
+		}
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	placed := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		g := gates[i]
+		if _, err := c.AddGate(g.output, g.typ, g.fanin...); err != nil {
+			return nil, fmt.Errorf("blif line %d: %w", g.line, err)
+		}
+		placed++
+		for _, s := range succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if placed != len(gates) {
+		return nil, fmt.Errorf("blif: combinational cycle among %d gates", len(gates)-placed)
+	}
+	for _, o := range outputs {
+		if err := c.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteBLIF renders the circuit as mapped BLIF with generic pin names
+// (A, B, C, D in fan-in order and O for the output).
+func WriteBLIF(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", c.Name)
+	fmt.Fprint(bw, ".inputs")
+	for _, nd := range c.Nodes {
+		if nd.Kind == KindInput {
+			fmt.Fprintf(bw, " %s", nd.Name)
+		}
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprint(bw, ".outputs")
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, " %s", c.Nodes[o].Name)
+	}
+	fmt.Fprintln(bw)
+	pinNames := []string{"A", "B", "C", "D"}
+	for _, nd := range c.Nodes {
+		if nd.Kind != KindGate {
+			continue
+		}
+		fmt.Fprintf(bw, ".gate %s", nd.Type)
+		for i, f := range nd.Fanin {
+			pin := pinNames[i%len(pinNames)]
+			if i >= len(pinNames) {
+				pin = fmt.Sprintf("A%d", i)
+			}
+			fmt.Fprintf(bw, " %s=%s", pin, c.Nodes[f].Name)
+		}
+		fmt.Fprintf(bw, " O=%s\n", nd.Name)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}

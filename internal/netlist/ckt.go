@@ -1,0 +1,123 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The .ckt format is a minimal line-oriented gate-level netlist:
+//
+//	# comment
+//	circuit tree7
+//	input i0 i1 i2
+//	gate A nand2 i0 i1
+//	gate B nand2 i1 i2
+//	gate G nand2 A B
+//	output G
+//
+// Keywords: circuit (optional, first), input, gate, output. Gates must
+// be declared after all of their fanins; names are arbitrary
+// whitespace-free tokens. Multiple input/output lines accumulate.
+
+// ReadCKT parses a circuit in .ckt format.
+func ReadCKT(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	c := New("circuit")
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ckt line %d: circuit takes one name", lineNo)
+			}
+			c.Name = fields[1]
+		case "input":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("ckt line %d: input needs names", lineNo)
+			}
+			for _, n := range fields[1:] {
+				if _, err := c.AddInput(n); err != nil {
+					return nil, fmt.Errorf("ckt line %d: %w", lineNo, err)
+				}
+			}
+		case "gate":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("ckt line %d: gate needs name, type and fanins", lineNo)
+			}
+			if _, err := c.AddGate(fields[1], fields[2], fields[3:]...); err != nil {
+				return nil, fmt.Errorf("ckt line %d: %w", lineNo, err)
+			}
+		case "output":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("ckt line %d: output needs names", lineNo)
+			}
+			for _, n := range fields[1:] {
+				if err := c.MarkOutput(n); err != nil {
+					return nil, fmt.Errorf("ckt line %d: %w", lineNo, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("ckt line %d: unknown keyword %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteCKT renders the circuit in .ckt format. The output round-trips
+// through ReadCKT to an identical circuit.
+func WriteCKT(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", c.Name)
+	line := 0
+	for _, nd := range c.Nodes {
+		if nd.Kind != KindInput {
+			continue
+		}
+		if line == 0 {
+			fmt.Fprint(bw, "input")
+		}
+		fmt.Fprintf(bw, " %s", nd.Name)
+		line++
+		if line == 16 {
+			fmt.Fprintln(bw)
+			line = 0
+		}
+	}
+	if line > 0 {
+		fmt.Fprintln(bw)
+	}
+	for _, nd := range c.Nodes {
+		if nd.Kind != KindGate {
+			continue
+		}
+		fmt.Fprintf(bw, "gate %s %s", nd.Name, nd.Type)
+		for _, f := range nd.Fanin {
+			fmt.Fprintf(bw, " %s", c.Nodes[f].Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprint(bw, "output")
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, " %s", c.Nodes[o].Name)
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}

@@ -1,0 +1,77 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The parser fuzz targets assert one invariant: arbitrary input never
+// panics, and accepted input yields a circuit that passes Validate
+// and survives a write/read round trip. `go test` runs the seed
+// corpus; `go test -fuzz FuzzReadCKT ./internal/netlist` explores.
+
+func FuzzReadCKT(f *testing.F) {
+	f.Add(sampleCKT)
+	f.Add("circuit x\ninput a\ngate g inv a\noutput g\n")
+	f.Add("input a b\ngate g nand2 a b\ngate h inv g\noutput h g\n")
+	f.Add("#only a comment")
+	f.Add("gate g inv missing\n")
+	f.Add("circuit\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadCKT(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if vErr := c.Validate(); vErr != nil {
+			t.Fatalf("accepted circuit fails validation: %v", vErr)
+		}
+		var buf bytes.Buffer
+		if wErr := WriteCKT(&buf, c); wErr != nil {
+			t.Fatalf("write failed: %v", wErr)
+		}
+		if _, rErr := ReadCKT(bytes.NewReader(buf.Bytes())); rErr != nil {
+			t.Fatalf("round trip failed: %v", rErr)
+		}
+	})
+}
+
+func FuzzReadBLIF(f *testing.F) {
+	f.Add(sampleBLIF)
+	f.Add(".model m\n.inputs a\n.outputs y\n.gate inv A=a O=y\n.end\n")
+	f.Add(".inputs a\n.gate inv A=a O=y\n")
+	f.Add(".names a b\n1 1\n")
+	f.Add(".gate\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadBLIF(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if vErr := c.Validate(); vErr != nil {
+			t.Fatalf("accepted circuit fails validation: %v", vErr)
+		}
+	})
+}
+
+func FuzzReadBench(f *testing.F) {
+	f.Add(sampleBench)
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+	f.Add("INPUT(a)\nz = DFF(a)\n")
+	f.Add("garbage")
+	f.Add("x = NAND(")
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ReadBench(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if vErr := c.Validate(); vErr != nil {
+			t.Fatalf("accepted circuit fails validation: %v", vErr)
+		}
+		// Accepted .bench circuits use default-library-compatible
+		// types, so the writer must succeed too.
+		var buf bytes.Buffer
+		if wErr := WriteBench(&buf, c); wErr != nil {
+			t.Fatalf("write failed: %v", wErr)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package netlist
+
+import (
+	"testing"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	spec := GenSpec{Name: "g", Gates: 200, Inputs: 20, Outputs: 5,
+		Depth: 8, MaxFanin: 4, Seed: 1}
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 200 {
+		t.Errorf("gates = %d, want 200", c.NumGates())
+	}
+	if c.NumInputs() != 20 {
+		t.Errorf("inputs = %d", c.NumInputs())
+	}
+	if len(c.Outputs) < 5 {
+		t.Errorf("outputs = %d, want >= 5", len(c.Outputs))
+	}
+	s, err := c.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth != 8 {
+		t.Errorf("depth = %d, want 8", s.Depth)
+	}
+	if s.MaxFanin > 4 {
+		t.Errorf("max fanin = %d", s.MaxFanin)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Name: "g", Gates: 150, Inputs: 12, Outputs: 3,
+		Depth: 7, MaxFanin: 3, Seed: 99}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ")
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na.Name != nb.Name || na.Type != nb.Type || len(na.Fanin) != len(nb.Fanin) {
+			t.Fatalf("node %d differs: %+v vs %+v", i, na, nb)
+		}
+		for j := range na.Fanin {
+			if na.Fanin[j] != nb.Fanin[j] {
+				t.Fatalf("node %d fanin differs", i)
+			}
+		}
+	}
+	// A different seed must give a different circuit.
+	spec.Seed = 100
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nodes {
+		if len(a.Nodes[i].Fanin) != len(c.Nodes[i].Fanin) {
+			same = false
+			break
+		}
+		for j := range a.Nodes[i].Fanin {
+			if a.Nodes[i].Fanin[j] != c.Nodes[i].Fanin[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical wiring")
+	}
+}
+
+func TestGenerateNoDanglingNoFloating(t *testing.T) {
+	c, err := Generate(GenSpec{Name: "g", Gates: 300, Inputs: 30, Outputs: 10,
+		Depth: 12, MaxFanin: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustCompile(c)
+	if d := g.DanglingGates(); len(d) != 0 {
+		t.Errorf("%d dangling gates", len(d))
+	}
+	for _, in := range c.InputIDs() {
+		if len(g.Fanout[in]) == 0 {
+			t.Errorf("floating input %s", c.Nodes[in].Name)
+		}
+	}
+}
+
+func TestGenerateSpecValidation(t *testing.T) {
+	bad := []GenSpec{
+		{Gates: 0, Inputs: 1, Outputs: 1, Depth: 1, MaxFanin: 2},
+		{Gates: 10, Inputs: 0, Outputs: 1, Depth: 1, MaxFanin: 2},
+		{Gates: 10, Inputs: 1, Outputs: 1, Depth: 0, MaxFanin: 2},
+		{Gates: 10, Inputs: 1, Outputs: 1, Depth: 11, MaxFanin: 2},
+		{Gates: 10, Inputs: 1, Outputs: 1, Depth: 2, MaxFanin: 9},
+		{Gates: 10, Inputs: 1, Outputs: 0, Depth: 2, MaxFanin: 2},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestLevelSizes(t *testing.T) {
+	for _, c := range []struct{ n, d int }{{100, 10}, {17, 5}, {1692, 22}, {5, 5}, {7, 1}} {
+		sizes := levelSizes(c.n, c.d)
+		if len(sizes) != c.d {
+			t.Fatalf("levels = %d, want %d", len(sizes), c.d)
+		}
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				t.Errorf("empty level in %v", sizes)
+			}
+			sum += s
+		}
+		if sum != c.n {
+			t.Errorf("sizes sum to %d, want %d", sum, c.n)
+		}
+	}
+}
+
+func TestBenchmarkPresets(t *testing.T) {
+	cases := []struct {
+		c     *Circuit
+		cells int
+	}{
+		{Apex1Like(), 982},
+		{Apex2Like(), 117},
+		{K2Like(), 1692},
+	}
+	for _, tc := range cases {
+		if tc.c.NumGates() != tc.cells {
+			t.Errorf("%s: %d cells, want %d", tc.c.Name, tc.c.NumGates(), tc.cells)
+		}
+		if err := tc.c.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.c.Name, err)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package nlp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Method selects the inner bound-constrained minimizer.
+type Method int
+
+// Inner solver methods.
+const (
+	// LBFGS is a projected limited-memory BFGS method needing only
+	// first derivatives.
+	LBFGS Method = iota
+	// NewtonCG is a truncated Newton conjugate-gradient method using
+	// exact element Hessians, the LANCELOT-style second-order path.
+	NewtonCG
+)
+
+func (m Method) String() string {
+	switch m {
+	case LBFGS:
+		return "lbfgs"
+	case NewtonCG:
+		return "newton-cg"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options tunes the solver. The zero value is usable: it selects
+// LBFGS with the default tolerances.
+type Options struct {
+	Method Method
+	// TolGrad is the convergence threshold on the projected gradient
+	// infinity norm (default 1e-6).
+	TolGrad float64
+	// TolCon is the feasibility threshold on the constraint infinity
+	// norm (default 1e-6).
+	TolCon float64
+	// MaxOuter bounds augmented-Lagrangian outer iterations
+	// (default 50).
+	MaxOuter int
+	// MaxInner bounds iterations per inner minimization
+	// (default 500).
+	MaxInner int
+	// RhoInit is the initial penalty parameter (default 10).
+	RhoInit float64
+	// RhoMax caps the penalty parameter (default 1e9).
+	RhoMax float64
+	// Memory is the number of L-BFGS correction pairs (default 10).
+	Memory int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.TolGrad == 0 {
+		o.TolGrad = 1e-6
+	}
+	if o.TolCon == 0 {
+		o.TolCon = 1e-6
+	}
+	if o.MaxOuter == 0 {
+		o.MaxOuter = 50
+	}
+	if o.MaxInner == 0 {
+		o.MaxInner = 500
+	}
+	if o.RhoInit == 0 {
+		o.RhoInit = 10
+	}
+	if o.RhoMax == 0 {
+		o.RhoMax = 1e9
+	}
+	if o.Memory == 0 {
+		o.Memory = 10
+	}
+	return o
+}
+
+// Status reports how the solver terminated.
+type Status int
+
+// Solver termination statuses.
+const (
+	// Converged: KKT conditions met to tolerance.
+	Converged Status = iota
+	// MaxIterations: the outer iteration budget ran out.
+	MaxIterations
+	// Stalled: no further progress was possible (line-search failure
+	// at the final tolerances), the result may still be usable.
+	Stalled
+)
+
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case MaxIterations:
+		return "max iterations"
+	case Stalled:
+		return "stalled"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the solver output.
+type Result struct {
+	X      []float64
+	F      float64 // objective (not merit) value at X
+	Status Status
+	// Outer and Inner count outer iterations and total inner
+	// iterations.
+	Outer, Inner int
+	// ProjGradNorm is the final projected-gradient infinity norm of
+	// the augmented Lagrangian.
+	ProjGradNorm float64
+	// MaxViolation is the final constraint violation infinity norm.
+	MaxViolation float64
+	// LambdaEq and LambdaIneq are the final multiplier estimates.
+	LambdaEq, LambdaIneq []float64
+	// FuncEvals counts merit-function evaluations.
+	FuncEvals int
+}
+
+// almState carries the augmented-Lagrangian data shared between the
+// outer loop and the inner minimizers.
+type almState struct {
+	p        *Problem
+	rho      float64
+	lamEq    []float64
+	lamIneq  []float64
+	cEq      []float64 // constraint values at the last eval point
+	cIneq    []float64
+	localX   []float64 // scratch: local variable gather
+	localG   []float64 // scratch: local gradient
+	fnEvals  int
+	maxLocal int
+}
+
+func newALMState(p *Problem, rho float64) *almState {
+	maxLocal := 1
+	scan := func(el *Element) {
+		if len(el.Vars) > maxLocal {
+			maxLocal = len(el.Vars)
+		}
+	}
+	for i := range p.Objective {
+		scan(&p.Objective[i])
+	}
+	for i := range p.EqCons {
+		scan(&p.EqCons[i].El)
+	}
+	for i := range p.IneqCons {
+		scan(&p.IneqCons[i].El)
+	}
+	return &almState{
+		p:        p,
+		rho:      rho,
+		lamEq:    make([]float64, len(p.EqCons)),
+		lamIneq:  make([]float64, len(p.IneqCons)),
+		cEq:      make([]float64, len(p.EqCons)),
+		cIneq:    make([]float64, len(p.IneqCons)),
+		localX:   make([]float64, maxLocal),
+		localG:   make([]float64, maxLocal),
+		maxLocal: maxLocal,
+	}
+}
+
+// objective returns the raw objective value at x.
+func (s *almState) objective(x []float64) float64 {
+	var f float64
+	for i := range s.p.Objective {
+		f += evalElement(&s.p.Objective[i], x, s.localX)
+	}
+	return f
+}
+
+// merit evaluates the augmented Lagrangian and, when grad is non-nil,
+// its gradient (grad is overwritten). Constraint values are cached in
+// cEq / cIneq for the outer loop.
+func (s *almState) merit(x []float64, grad []float64) float64 {
+	s.fnEvals++
+	if grad != nil {
+		for i := range grad {
+			grad[i] = 0
+		}
+	}
+	var phi float64
+	for i := range s.p.Objective {
+		el := &s.p.Objective[i]
+		if grad != nil {
+			phi += gradElement(el, x, 1, grad, s.localX, s.localG)
+		} else {
+			phi += evalElement(el, x, s.localX)
+		}
+	}
+	for i := range s.p.EqCons {
+		el := &s.p.EqCons[i].El
+		n := len(el.Vars)
+		for k, v := range el.Vars {
+			s.localX[k] = x[v]
+		}
+		c := el.Eval(s.localX[:n])
+		s.cEq[i] = c
+		phi += s.lamEq[i]*c + 0.5*s.rho*c*c
+		if grad != nil {
+			// The ALM gradient weight is lambda + rho*c.
+			el.Grad(s.localX[:n], s.localG[:n])
+			w := s.lamEq[i] + s.rho*c
+			for k, v := range el.Vars {
+				grad[v] += w * s.localG[k]
+			}
+		}
+	}
+	for i := range s.p.IneqCons {
+		el := &s.p.IneqCons[i].El
+		n := len(el.Vars)
+		for k, v := range el.Vars {
+			s.localX[k] = x[v]
+		}
+		c := el.Eval(s.localX[:n])
+		s.cIneq[i] = c
+		m := s.lamIneq[i] + s.rho*c
+		if m > 0 {
+			phi += (m*m - s.lamIneq[i]*s.lamIneq[i]) / (2 * s.rho)
+			if grad != nil {
+				el.Grad(s.localX[:n], s.localG[:n])
+				for k, v := range el.Vars {
+					grad[v] += m * s.localG[k]
+				}
+			}
+		} else {
+			phi += -s.lamIneq[i] * s.lamIneq[i] / (2 * s.rho)
+		}
+	}
+	return phi
+}
+
+// violation returns the constraint infinity norm at the last merit
+// evaluation point (equalities: |c|; inequalities: max(0, c)).
+func (s *almState) violation() float64 {
+	var v float64
+	for _, c := range s.cEq {
+		if a := math.Abs(c); a > v {
+			v = a
+		}
+	}
+	for _, c := range s.cIneq {
+		if c > v {
+			v = c
+		}
+	}
+	return v
+}
+
+// projGradNorm returns the infinity norm of the projected gradient:
+// the gradient with components pointing out of the box zeroed.
+func projGradNorm(p *Problem, x, grad []float64) float64 {
+	var norm float64
+	for i := range x {
+		g := grad[i]
+		if x[i] <= p.lower(i)+1e-12 && g > 0 {
+			continue
+		}
+		if x[i] >= p.upper(i)-1e-12 && g < 0 {
+			continue
+		}
+		if a := math.Abs(g); a > norm {
+			norm = a
+		}
+	}
+	return norm
+}
+
+// Solve runs the augmented-Lagrangian method from x0.
+func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != p.N {
+		return nil, fmt.Errorf("nlp: x0 has length %d, want %d", len(x0), p.N)
+	}
+	opt = opt.withDefaults()
+	if opt.Method == NewtonCG && !p.HasHessians() {
+		return nil, fmt.Errorf("nlp: NewtonCG requires Hessians on every element")
+	}
+
+	x := append([]float64(nil), x0...)
+	p.project(x)
+
+	st := newALMState(p, opt.RhoInit)
+	res := &Result{}
+
+	constrained := len(p.EqCons)+len(p.IneqCons) > 0
+	// LANCELOT-style tolerance schedule.
+	omega := 1.0 / st.rho // inner gradient tolerance
+	eta := math.Pow(st.rho, -0.1)
+	if !constrained {
+		omega = opt.TolGrad
+	}
+
+	var inner innerSolver
+	switch opt.Method {
+	case LBFGS:
+		inner = newLBFGSSolver(p, st, opt)
+	case NewtonCG:
+		inner = newNewtonSolver(p, st, opt)
+	default:
+		return nil, fmt.Errorf("nlp: unknown method %v", opt.Method)
+	}
+
+	for outer := 0; outer < opt.MaxOuter; outer++ {
+		res.Outer = outer + 1
+		tol := math.Max(omega, opt.TolGrad)
+		iters, pg := inner.minimize(x, tol)
+		res.Inner += iters
+		res.ProjGradNorm = pg
+
+		// Refresh constraint caches at the solution point.
+		st.merit(x, nil)
+		viol := st.violation()
+		res.MaxViolation = viol
+		if opt.Logf != nil {
+			opt.Logf("outer %d: rho=%.3g viol=%.3g pg=%.3g f=%.8g",
+				outer+1, st.rho, viol, pg, st.objective(x))
+		}
+
+		if !constrained {
+			res.Status = Converged
+			if pg > opt.TolGrad {
+				res.Status = Stalled
+			}
+			break
+		}
+
+		if viol <= math.Max(eta, opt.TolCon) {
+			if viol <= opt.TolCon && pg <= opt.TolGrad {
+				res.Status = Converged
+				break
+			}
+			// First-order multiplier update.
+			for i := range st.lamEq {
+				st.lamEq[i] += st.rho * st.cEq[i]
+			}
+			for i := range st.lamIneq {
+				st.lamIneq[i] = math.Max(0, st.lamIneq[i]+st.rho*st.cIneq[i])
+			}
+			omega /= st.rho
+			eta /= math.Pow(st.rho, 0.9)
+		} else {
+			if st.rho >= opt.RhoMax {
+				res.Status = Stalled
+				break
+			}
+			st.rho = math.Min(st.rho*10, opt.RhoMax)
+			omega = 1.0 / st.rho
+			eta = math.Pow(st.rho, -0.1)
+		}
+		res.Status = MaxIterations
+	}
+
+	res.X = x
+	res.F = st.objective(x)
+	res.LambdaEq = st.lamEq
+	res.LambdaIneq = st.lamIneq
+	res.FuncEvals = st.fnEvals
+	return res, nil
+}

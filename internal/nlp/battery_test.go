@@ -1,0 +1,297 @@
+package nlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file is the extended solver battery: classic Hock-Schittkowski
+// problems beyond the basics in nlp_test.go, plus randomized convex
+// programs whose solutions are verified against KKT conditions rather
+// than known optima.
+
+// hs35: min 9 - 8x1 - 6x2 - 4x3 + 2x1^2 + 2x2^2 + x3^2
+//   - 2x1x2 + 2x1x3, s.t. x1+x2+2x3 <= 3, x >= 0.
+//
+// Solution (4/3, 7/9, 4/9), f* = 1/9.
+func hs35() *Problem {
+	return &Problem{
+		N:     3,
+		Lower: []float64{0, 0, 0},
+		Objective: []Element{{
+			Vars: []int{0, 1, 2},
+			Eval: func(x []float64) float64 {
+				return 9 - 8*x[0] - 6*x[1] - 4*x[2] +
+					2*x[0]*x[0] + 2*x[1]*x[1] + x[2]*x[2] +
+					2*x[0]*x[1] + 2*x[0]*x[2]
+			},
+			Grad: func(x []float64, g []float64) {
+				g[0] = -8 + 4*x[0] + 2*x[1] + 2*x[2]
+				g[1] = -6 + 4*x[1] + 2*x[0]
+				g[2] = -4 + 2*x[2] + 2*x[0]
+			},
+			Hess: func(_ []float64, h [][]float64) {
+				h[0][0], h[0][1], h[0][2] = 4, 2, 2
+				h[1][0], h[1][1], h[1][2] = 2, 4, 0
+				h[2][0], h[2][1], h[2][2] = 2, 0, 2
+			},
+		}},
+		IneqCons: []Constraint{{
+			Name: "budget",
+			El:   LinearElement([]int{0, 1, 2}, []float64{1, 1, 2}, -3),
+		}},
+	}
+}
+
+func TestHS35(t *testing.T) {
+	want := []float64{4.0 / 3, 7.0 / 9, 4.0 / 9}
+	for _, m := range methods {
+		r, err := Solve(hs35(), []float64{0.5, 0.5, 0.5}, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(r.F, 1.0/9, 1e-4) {
+			t.Errorf("%v: f = %v, want 1/9", m, r.F)
+		}
+		for i := range want {
+			if !close(r.X[i], want[i], 1e-3) {
+				t.Errorf("%v: x[%d] = %v, want %v", m, i, r.X[i], want[i])
+			}
+		}
+	}
+}
+
+// hs48: min (x1-1)^2 + (x2-x3)^2 + (x4-x5)^2
+//
+//	s.t. x1+x2+x3+x4+x5 = 5, x3 - 2(x4+x5) = -3.
+//
+// Solution (1,1,1,1,1), f* = 0.
+func hs48() *Problem {
+	return &Problem{
+		N: 5,
+		Objective: []Element{{
+			Vars: []int{0, 1, 2, 3, 4},
+			Eval: func(x []float64) float64 {
+				return sq(x[0]-1) + sq(x[1]-x[2]) + sq(x[3]-x[4])
+			},
+			Grad: func(x []float64, g []float64) {
+				g[0] = 2 * (x[0] - 1)
+				g[1] = 2 * (x[1] - x[2])
+				g[2] = -2 * (x[1] - x[2])
+				g[3] = 2 * (x[3] - x[4])
+				g[4] = -2 * (x[3] - x[4])
+			},
+			Hess: func(_ []float64, h [][]float64) {
+				for i := range h {
+					for j := range h[i] {
+						h[i][j] = 0
+					}
+				}
+				h[0][0] = 2
+				h[1][1], h[2][2], h[1][2], h[2][1] = 2, 2, -2, -2
+				h[3][3], h[4][4], h[3][4], h[4][3] = 2, 2, -2, -2
+			},
+		}},
+		EqCons: []Constraint{
+			{Name: "sum", El: LinearElement([]int{0, 1, 2, 3, 4}, []float64{1, 1, 1, 1, 1}, -5)},
+			{Name: "mix", El: LinearElement([]int{2, 3, 4}, []float64{1, -2, -2}, 3)},
+		},
+	}
+}
+
+func sq(v float64) float64 { return v * v }
+
+func TestHS48(t *testing.T) {
+	for _, m := range methods {
+		r, err := Solve(hs48(), []float64{3, 5, -3, 2, -2}, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(r.F, 0, 1e-6) {
+			t.Errorf("%v: f = %v, want 0", m, r.F)
+		}
+		if r.MaxViolation > 1e-5 {
+			t.Errorf("%v: violation %v", m, r.MaxViolation)
+		}
+	}
+}
+
+// hs4: min (x1+1)^3/3 + x2, x1 >= 1, x2 >= 0. Solution (1, 0), f* = 8/3.
+func TestHS4(t *testing.T) {
+	p := &Problem{
+		N:     2,
+		Lower: []float64{1, 0},
+		Objective: []Element{{
+			Vars: []int{0, 1},
+			Eval: func(x []float64) float64 {
+				a := x[0] + 1
+				return a*a*a/3 + x[1]
+			},
+			Grad: func(x []float64, g []float64) {
+				a := x[0] + 1
+				g[0] = a * a
+				g[1] = 1
+			},
+			Hess: func(x []float64, h [][]float64) {
+				h[0][0] = 2 * (x[0] + 1)
+				h[0][1], h[1][0], h[1][1] = 0, 0, 0
+			},
+		}},
+	}
+	for _, m := range methods {
+		r, err := Solve(p, []float64{1.125, 0.125}, Options{Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !close(r.X[0], 1, 1e-6) || !close(r.X[1], 0, 1e-6) {
+			t.Errorf("%v: x = %v, want (1, 0)", m, r.X)
+		}
+		if !close(r.F, 8.0/3, 1e-6) {
+			t.Errorf("%v: f = %v, want 8/3", m, r.F)
+		}
+	}
+}
+
+// randomConvexQP builds min 0.5 x^T Q x + c^T x over a box with Q
+// positive definite (A^T A + n*I), plus an optional linear equality.
+func randomConvexQP(rng *rand.Rand, n int, withEq bool) *Problem {
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+	}
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+		for j := range q[i] {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[k][i] * a[k][j]
+			}
+			q[i][j] = s
+		}
+		q[i][i] += float64(n)
+	}
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = 3 * rng.NormFloat64()
+	}
+	vars := make([]int, n)
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	ones := make([]float64, n)
+	for i := range vars {
+		vars[i] = i
+		lower[i] = -1
+		upper[i] = 1
+		ones[i] = 1
+	}
+	p := &Problem{
+		N: n, Lower: lower, Upper: upper,
+		Objective: []Element{{
+			Vars: vars,
+			Eval: func(x []float64) float64 {
+				var v float64
+				for i := 0; i < n; i++ {
+					v += c[i] * x[i]
+					for j := 0; j < n; j++ {
+						v += 0.5 * x[i] * q[i][j] * x[j]
+					}
+				}
+				return v
+			},
+			Grad: func(x []float64, g []float64) {
+				for i := 0; i < n; i++ {
+					g[i] = c[i]
+					for j := 0; j < n; j++ {
+						g[i] += q[i][j] * x[j]
+					}
+				}
+			},
+			Hess: func(_ []float64, h [][]float64) {
+				for i := range h {
+					copy(h[i], q[i])
+				}
+			},
+		}},
+	}
+	if withEq {
+		p.EqCons = []Constraint{{Name: "sum", El: LinearElement(vars, ones, -0.5)}}
+	}
+	return p
+}
+
+// kktCheckQP verifies first-order optimality of a box-constrained QP
+// solution: projected gradient of the Lagrangian must vanish and
+// constraints hold.
+func kktCheckQP(t *testing.T, p *Problem, r *Result, label string) {
+	t.Helper()
+	if r.MaxViolation > 1e-5 {
+		t.Errorf("%s: violation %v", label, r.MaxViolation)
+	}
+	n := p.N
+	g := make([]float64, n)
+	local := make([]float64, n)
+	copy(local, r.X)
+	p.Objective[0].Grad(local, g)
+	// Add equality-multiplier terms.
+	for i, con := range p.EqCons {
+		lg := make([]float64, len(con.El.Vars))
+		con.El.Grad(local, lg)
+		for k, v := range con.El.Vars {
+			g[v] += r.LambdaEq[i] * lg[k]
+		}
+	}
+	for i := 0; i < n; i++ {
+		atLower := r.X[i] <= p.Lower[i]+1e-6
+		atUpper := r.X[i] >= p.Upper[i]-1e-6
+		switch {
+		case atLower && g[i] >= -1e-4:
+		case atUpper && g[i] <= 1e-4:
+		case !atLower && !atUpper && math.Abs(g[i]) <= 1e-4:
+		default:
+			t.Errorf("%s: KKT fails at %d: x=%v g=%v", label, i, r.X[i], g[i])
+		}
+	}
+}
+
+func TestRandomConvexQPsSatisfyKKT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		withEq := trial%2 == 0
+		p := randomConvexQP(rng, n, withEq)
+		for _, m := range methods {
+			x0 := make([]float64, n)
+			r, err := Solve(p, x0, Options{Method: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kktCheckQP(t, p, r, m.String())
+		}
+	}
+}
+
+func TestBothMethodsAgreeOnConvexQPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(6)
+		p := randomConvexQP(rng, n, true)
+		x0 := make([]float64, n)
+		a, err := Solve(p, x0, Options{Method: LBFGS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(p, x0, Options{Method: NewtonCG})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Convex: unique optimum, methods must agree.
+		if !close(a.F, b.F, 1e-4) {
+			t.Errorf("trial %d: LBFGS %v vs Newton %v", trial, a.F, b.F)
+		}
+	}
+}

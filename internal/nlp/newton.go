@@ -1,0 +1,333 @@
+package nlp
+
+import "math"
+
+// newtonSolver is a truncated Newton conjugate-gradient inner solver:
+// at each iteration the Hessian of the augmented Lagrangian is
+// assembled implicitly from exact element Hessians (the LANCELOT-style
+// use of the paper's analytical second derivatives), the Newton system
+// restricted to the free variables is solved approximately by
+// Steihaug-Toint conjugate gradients — CG truncated at a trust-region
+// boundary, which also bounds steps along the near-null directions a
+// feasible start gives the Gauss-Newton term — and the step is
+// globalized by a projected Armijo search with an adaptive radius.
+type newtonSolver struct {
+	p   *Problem
+	st  *almState
+	opt Options
+
+	grad, xNew, gNew, d []float64
+	r, z, hz            []float64 // CG work vectors
+	free                []bool
+
+	cache   []elemCache
+	localV  []float64
+	localHV []float64
+}
+
+// elemCache holds one element's second-order data at the current
+// point: the local Hessian scaled by hw, plus for constraints the
+// local gradient contributing the Gauss-Newton rank-one term
+// gw * lg lg^T.
+type elemCache struct {
+	vars []int
+	hw   float64
+	gw   float64
+	lg   []float64
+	h    [][]float64
+}
+
+func newNewtonSolver(p *Problem, st *almState, opt Options) *newtonSolver {
+	ns := &newtonSolver{
+		p: p, st: st, opt: opt,
+		grad:    make([]float64, p.N),
+		xNew:    make([]float64, p.N),
+		gNew:    make([]float64, p.N),
+		d:       make([]float64, p.N),
+		r:       make([]float64, p.N),
+		z:       make([]float64, p.N),
+		hz:      make([]float64, p.N),
+		free:    make([]bool, p.N),
+		localV:  make([]float64, st.maxLocal),
+		localHV: make([]float64, st.maxLocal),
+	}
+	nEl := len(p.Objective) + len(p.EqCons) + len(p.IneqCons)
+	ns.cache = make([]elemCache, 0, nEl)
+	return ns
+}
+
+// buildCache evaluates every element's Hessian data at x.
+func (ns *newtonSolver) buildCache(x []float64) {
+	ns.cache = ns.cache[:0]
+	st := ns.st
+	addEntry := func(el *Element, hw, gw float64, withGrad bool) {
+		n := len(el.Vars)
+		for k, v := range el.Vars {
+			st.localX[k] = x[v]
+		}
+		ec := elemCache{vars: el.Vars, hw: hw, gw: gw}
+		if withGrad {
+			ec.lg = make([]float64, n)
+			el.Grad(st.localX[:n], ec.lg)
+		}
+		if hw != 0 {
+			ec.h = make([][]float64, n)
+			for i := range ec.h {
+				ec.h[i] = make([]float64, n)
+			}
+			el.Hess(st.localX[:n], ec.h)
+		}
+		ns.cache = append(ns.cache, ec)
+	}
+	for i := range ns.p.Objective {
+		addEntry(&ns.p.Objective[i], 1, 0, false)
+	}
+	for i := range ns.p.EqCons {
+		el := &ns.p.EqCons[i].El
+		n := len(el.Vars)
+		for k, v := range el.Vars {
+			st.localX[k] = x[v]
+		}
+		c := el.Eval(st.localX[:n])
+		addEntry(el, st.lamEq[i]+st.rho*c, st.rho, true)
+	}
+	for i := range ns.p.IneqCons {
+		el := &ns.p.IneqCons[i].El
+		n := len(el.Vars)
+		for k, v := range el.Vars {
+			st.localX[k] = x[v]
+		}
+		c := el.Eval(st.localX[:n])
+		if m := st.lamIneq[i] + st.rho*c; m > 0 {
+			addEntry(el, m, st.rho, true)
+		}
+	}
+}
+
+// hessVec computes out = H*v restricted to the free variables (masked
+// components of v are treated as zero and masked outputs are zeroed).
+func (ns *newtonSolver) hessVec(v, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for ci := range ns.cache {
+		ec := &ns.cache[ci]
+		n := len(ec.vars)
+		anyNonzero := false
+		for k, idx := range ec.vars {
+			val := 0.0
+			if ns.free[idx] {
+				val = v[idx]
+			}
+			ns.localV[k] = val
+			if val != 0 {
+				anyNonzero = true
+			}
+		}
+		if !anyNonzero {
+			continue
+		}
+		if ec.h != nil {
+			for i := 0; i < n; i++ {
+				var s float64
+				row := ec.h[i]
+				for j := 0; j < n; j++ {
+					s += row[j] * ns.localV[j]
+				}
+				ns.localHV[i] = ec.hw * s
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				ns.localHV[i] = 0
+			}
+		}
+		if ec.gw != 0 {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += ec.lg[k] * ns.localV[k]
+			}
+			dot *= ec.gw
+			for k := 0; k < n; k++ {
+				ns.localHV[k] += dot * ec.lg[k]
+			}
+		}
+		for k, idx := range ec.vars {
+			if ns.free[idx] {
+				out[idx] += ns.localHV[k]
+			}
+		}
+	}
+}
+
+func (ns *newtonSolver) minimize(x []float64, tol float64) (int, float64) {
+	st := ns.st
+	phi := st.merit(x, ns.grad)
+	pg := projGradNorm(ns.p, x, ns.grad)
+	// Trust radius for the Steihaug CG; adapted across iterations.
+	radius := 10.0
+	iters := 0
+	for ; iters < ns.opt.MaxInner && pg > tol; iters++ {
+		// Free variables: not pinned at a bound with an outward
+		// gradient.
+		for k := range x {
+			ns.free[k] = true
+			if x[k] <= ns.p.lower(k)+1e-12 && ns.grad[k] > 0 {
+				ns.free[k] = false
+			}
+			if x[k] >= ns.p.upper(k)-1e-12 && ns.grad[k] < 0 {
+				ns.free[k] = false
+			}
+		}
+		ns.buildCache(x)
+
+		// Inner attempt loop: shrink the radius on a failed line
+		// search rather than giving up — a feasible warm start makes
+		// the Gauss-Newton Hessian rank-deficient and the first CG
+		// direction can be wildly long.
+		progressed := false
+		for attempt := 0; attempt < 20; attempt++ {
+			ns.cg(radius)
+			var gd float64
+			for k := range x {
+				gd += ns.grad[k] * ns.d[k]
+			}
+			if gd >= 0 {
+				// Fall back to projected steepest descent clipped to
+				// the radius.
+				gd = 0
+				var norm float64
+				for k := range x {
+					if ns.free[k] {
+						ns.d[k] = -ns.grad[k]
+						norm += ns.d[k] * ns.d[k]
+					} else {
+						ns.d[k] = 0
+					}
+				}
+				norm = math.Sqrt(norm)
+				if norm > radius {
+					scale := radius / norm
+					for k := range ns.d {
+						ns.d[k] *= scale
+					}
+				}
+				for k := range x {
+					gd += ns.grad[k] * ns.d[k]
+				}
+				if gd >= 0 {
+					break
+				}
+			}
+			phiNew, ok := projectedArmijo(ns.p, st, x, ns.grad, ns.d, ns.xNew, ns.gNew, phi, gd)
+			if ok {
+				copy(x, ns.xNew)
+				copy(ns.grad, ns.gNew)
+				phi = phiNew
+				pg = projGradNorm(ns.p, x, ns.grad)
+				if radius < 1e6 {
+					radius *= 1.5
+				}
+				progressed = true
+				break
+			}
+			radius *= 0.25
+			if radius < 1e-10 {
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return iters, pg
+}
+
+// cg approximately solves H d = -grad on the free variables with
+// Steihaug-Toint truncation, leaving the step in ns.d. It terminates
+// on the Eisenstat-Walker forcing condition, at the trust-region
+// boundary, on a negative-curvature direction (followed to the
+// boundary) or at an iteration cap.
+func (ns *newtonSolver) cg(radius float64) {
+	n := ns.p.N
+	d, r, z, hz := ns.d, ns.r, ns.z, ns.hz
+	var gNorm float64
+	for k := 0; k < n; k++ {
+		d[k] = 0
+		if ns.free[k] {
+			r[k] = -ns.grad[k]
+			gNorm += r[k] * r[k]
+		} else {
+			r[k] = 0
+		}
+		z[k] = r[k]
+	}
+	gNorm = math.Sqrt(gNorm)
+	if gNorm == 0 {
+		return
+	}
+	// Forcing term: solve to min(0.5, sqrt(gNorm)) * gNorm.
+	tol := math.Min(0.5, math.Sqrt(gNorm)) * gNorm
+	maxCG := n
+	if maxCG > 250 {
+		maxCG = 250
+	}
+	rr := gNorm * gNorm
+	var dd float64 // ||d||^2
+	for it := 0; it < maxCG; it++ {
+		ns.hessVec(z, hz)
+		var zHz, zz, dz float64
+		for k := 0; k < n; k++ {
+			zHz += z[k] * hz[k]
+			zz += z[k] * z[k]
+			dz += d[k] * z[k]
+		}
+		if zHz <= 1e-12*zz {
+			// Negative or vanishing curvature: follow z to the
+			// trust-region boundary (Steihaug's prescription); from
+			// the origin this is the steepest-descent direction.
+			tau := boundaryStep(dd, dz, zz, radius)
+			for k := 0; k < n; k++ {
+				d[k] += tau * z[k]
+			}
+			return
+		}
+		alpha := rr / zHz
+		// Would the step leave the trust region?
+		newDD := dd + 2*alpha*dz + alpha*alpha*zz
+		if newDD >= radius*radius {
+			tau := boundaryStep(dd, dz, zz, radius)
+			for k := 0; k < n; k++ {
+				d[k] += tau * z[k]
+			}
+			return
+		}
+		var rrNew float64
+		for k := 0; k < n; k++ {
+			d[k] += alpha * z[k]
+			r[k] -= alpha * hz[k]
+			rrNew += r[k] * r[k]
+		}
+		dd = newDD
+		if math.Sqrt(rrNew) <= tol {
+			return
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for k := 0; k < n; k++ {
+			z[k] = r[k] + beta*z[k]
+		}
+	}
+}
+
+// boundaryStep returns tau >= 0 with ||d + tau z|| = radius given
+// dd = ||d||^2 and dz = d.z, zz = ||z||^2.
+func boundaryStep(dd, dz, zz, radius float64) float64 {
+	if zz == 0 {
+		return 0
+	}
+	disc := dz*dz + zz*(radius*radius-dd)
+	if disc < 0 {
+		disc = 0
+	}
+	return (-dz + math.Sqrt(disc)) / zz
+}

@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+func close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestProbabilitiesKnownGates(t *testing.T) {
+	c := netlist.New("p")
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddGate("n", "nand2", "a", "b")
+	c.AddGate("i", "inv", "n")
+	c.AddGate("o", "nor2", "a", "b")
+	c.MarkOutput("i")
+	c.MarkOutput("o")
+	g := netlist.MustCompile(c)
+	p, err := Probabilities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(p[c.MustID("n")], 0.75, 1e-12) {
+		t.Errorf("P(nand) = %v", p[c.MustID("n")])
+	}
+	if !close(p[c.MustID("i")], 0.25, 1e-12) {
+		t.Errorf("P(inv(nand)) = %v", p[c.MustID("i")])
+	}
+	if !close(p[c.MustID("o")], 0.25, 1e-12) {
+		t.Errorf("P(nor) = %v", p[c.MustID("o")])
+	}
+}
+
+func TestProbabilitiesXor(t *testing.T) {
+	c := netlist.New("x")
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddGate("x", "xor2", "a", "b")
+	c.AddGate("nx", "xnor2", "a", "b")
+	c.MarkOutput("x")
+	c.MarkOutput("nx")
+	g := netlist.MustCompile(c)
+	p, err := Probabilities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(p[c.MustID("x")], 0.5, 1e-12) || !close(p[c.MustID("nx")], 0.5, 1e-12) {
+		t.Errorf("xor/xnor = %v %v", p[c.MustID("x")], p[c.MustID("nx")])
+	}
+}
+
+func TestProbabilitiesUnknownType(t *testing.T) {
+	c := netlist.New("u")
+	c.AddInput("a")
+	c.AddGate("g", "mystery", "a")
+	c.MarkOutput("g")
+	if _, err := Probabilities(netlist.MustCompile(c)); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestActivitiesPeakAtHalf(t *testing.T) {
+	g := netlist.MustCompile(netlist.Tree7())
+	a, err := Activities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range a {
+		if v < 0 || v > 0.5+1e-12 {
+			t.Errorf("activity[%d] = %v outside [0, 0.5]", i, v)
+		}
+	}
+	// Inputs at p = 0.5 have the maximum activity 0.5.
+	for _, id := range g.C.InputIDs() {
+		if !close(a[id], 0.5, 1e-12) {
+			t.Errorf("input activity = %v", a[id])
+		}
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Apex2Like()), delay.Default())
+	w, err := Weights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 0
+	for _, id := range m.G.C.GateIDs() {
+		if w[id] < 0 {
+			t.Errorf("negative weight %v", w[id])
+		}
+		sum += w[id]
+		n++
+	}
+	if !close(sum, float64(n), 1e-9) {
+		t.Errorf("weights sum to %v, want %v", sum, float64(n))
+	}
+}
+
+func TestEstimateGrowsWithSizing(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	S1 := m.UnitSizes()
+	S3 := m.UnitSizes()
+	for _, id := range m.G.C.GateIDs() {
+		S3[id] = 3
+	}
+	p1, err := Estimate(m, S1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := Estimate(m, S3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 <= p1 {
+		t.Errorf("upsizing did not increase power: %v -> %v", p1, p3)
+	}
+}

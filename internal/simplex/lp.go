@@ -1,0 +1,190 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// LP is a general-form linear program builder:
+//
+//	minimize c.x  subject to  row constraints (<=, >=, =)
+//	and per-variable bounds [lo, hi] (use +-Inf for unbounded).
+//
+// Build converts it to standard form (shifted, split and slacked) and
+// Solve returns the solution mapped back to the original variables.
+type LP struct {
+	nVars  int
+	costs  []float64
+	lower  []float64
+	upper  []float64
+	names  []string
+	rows   []lpRow
+	status error
+}
+
+type lpRow struct {
+	coeffs map[int]float64
+	op     byte // '<', '>', '='
+	rhs    float64
+}
+
+// NewLP returns an empty program.
+func NewLP() *LP { return &LP{} }
+
+// AddVar adds a variable with the given objective cost and bounds,
+// returning its index. Bounds may be infinite.
+func (lp *LP) AddVar(name string, cost, lo, hi float64) int {
+	if lo > hi {
+		lp.status = fmt.Errorf("simplex: variable %q has crossed bounds [%v, %v]", name, lo, hi)
+	}
+	lp.nVars++
+	lp.costs = append(lp.costs, cost)
+	lp.lower = append(lp.lower, lo)
+	lp.upper = append(lp.upper, hi)
+	lp.names = append(lp.names, name)
+	return lp.nVars - 1
+}
+
+// Constrain adds a row: sum coeffs[v]*x[v] (op) rhs with op one of
+// "<=", ">=", "=".
+func (lp *LP) Constrain(coeffs map[int]float64, op string, rhs float64) {
+	var b byte
+	switch op {
+	case "<=":
+		b = '<'
+	case ">=":
+		b = '>'
+	case "=":
+		b = '='
+	default:
+		lp.status = fmt.Errorf("simplex: unknown operator %q", op)
+		return
+	}
+	cp := make(map[int]float64, len(coeffs))
+	for v, c := range coeffs {
+		if v < 0 || v >= lp.nVars {
+			lp.status = fmt.Errorf("simplex: constraint references variable %d of %d", v, lp.nVars)
+			return
+		}
+		cp[v] = c
+	}
+	lp.rows = append(lp.rows, lpRow{coeffs: cp, op: b, rhs: rhs})
+}
+
+// Solve converts to standard form and runs the simplex method.
+// Variable transformation: x = lo + u (finite lower bound),
+// x = hi - u (only upper bound finite), or x = u+ - u- (free);
+// finite upper bounds on shifted variables become explicit rows.
+func (lp *LP) Solve() (*Result, []float64, error) {
+	if lp.status != nil {
+		return nil, nil, lp.status
+	}
+	// Map each variable to standard-form columns.
+	type varMap struct {
+		col   int // primary column
+		neg   int // second column for free variables, else -1
+		shift float64
+		sign  float64 // +1 or -1 (upper-bounded-only variables)
+		ub    float64 // remaining upper bound on the primary column (Inf if none)
+	}
+	maps := make([]varMap, lp.nVars)
+	nCols := 0
+	addCol := func() int { nCols++; return nCols - 1 }
+	for i := 0; i < lp.nVars; i++ {
+		lo, hi := lp.lower[i], lp.upper[i]
+		switch {
+		case !math.IsInf(lo, -1):
+			maps[i] = varMap{col: addCol(), neg: -1, shift: lo, sign: 1, ub: hi - lo}
+		case !math.IsInf(hi, 1):
+			// x = hi - u, u >= 0.
+			maps[i] = varMap{col: addCol(), neg: -1, shift: hi, sign: -1, ub: math.Inf(1)}
+		default:
+			maps[i] = varMap{col: addCol(), neg: addCol(), shift: 0, sign: 1, ub: math.Inf(1)}
+		}
+	}
+
+	// Count rows: originals + upper-bound rows; slack columns for
+	// inequalities.
+	type stdRow struct {
+		coeffs map[int]float64
+		rhs    float64
+		op     byte
+	}
+	var rows []stdRow
+	for _, r := range lp.rows {
+		sr := stdRow{coeffs: map[int]float64{}, rhs: r.rhs, op: r.op}
+		for v, c := range r.coeffs {
+			mp := maps[v]
+			sr.rhs -= c * mp.shift
+			sr.coeffs[mp.col] += c * mp.sign
+			if mp.neg >= 0 {
+				sr.coeffs[mp.neg] -= c
+			}
+		}
+		rows = append(rows, sr)
+	}
+	for i := 0; i < lp.nVars; i++ {
+		if !math.IsInf(maps[i].ub, 1) {
+			rows = append(rows, stdRow{
+				coeffs: map[int]float64{maps[i].col: 1},
+				rhs:    maps[i].ub,
+				op:     '<',
+			})
+		}
+	}
+	// Slack columns.
+	for ri := range rows {
+		switch rows[ri].op {
+		case '<':
+			rows[ri].coeffs[addCol()] = 1
+		case '>':
+			rows[ri].coeffs[addCol()] = -1
+		}
+	}
+
+	// Assemble dense standard form.
+	c := make([]float64, nCols)
+	var constShift float64
+	for i := 0; i < lp.nVars; i++ {
+		mp := maps[i]
+		constShift += lp.costs[i] * mp.shift
+		c[mp.col] += lp.costs[i] * mp.sign
+		if mp.neg >= 0 {
+			c[mp.neg] -= lp.costs[i]
+		}
+	}
+	a := make([][]float64, len(rows))
+	b := make([]float64, len(rows))
+	for ri, r := range rows {
+		a[ri] = make([]float64, nCols)
+		for col, v := range r.coeffs {
+			a[ri][col] = v
+		}
+		b[ri] = r.rhs
+	}
+
+	res, err := Solve(c, a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Status != Optimal {
+		return res, nil, nil
+	}
+	x := make([]float64, lp.nVars)
+	for i := 0; i < lp.nVars; i++ {
+		mp := maps[i]
+		v := mp.shift + mp.sign*res.X[mp.col]
+		if mp.neg >= 0 {
+			v -= res.X[mp.neg]
+		}
+		x[i] = v
+	}
+	res.Objective += constShift
+	return res, x, nil
+}
+
+// Name returns the name of variable i (for diagnostics).
+func (lp *LP) Name(i int) string { return lp.names[i] }
+
+// NumVars returns the number of variables added so far.
+func (lp *LP) NumVars() int { return lp.nVars }

@@ -1,0 +1,270 @@
+// Package simplex implements a dense two-phase primal simplex solver
+// for linear programs, with Bland's anti-cycling rule.
+//
+// It backs the deterministic LP-based sizing baseline of the paper's
+// reference [3] (Berkelaar & Jess, "Gate Sizing in MOS Digital
+// Circuits with Linear Programming", EDAC 1990): the comparator the
+// statistical method is positioned against. The solver handles the
+// standard form
+//
+//	minimize  c.x   subject to  A x = b,  x >= 0
+//
+// and a builder (lp.go) converts general bounded/inequality programs
+// into it.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status reports the LP outcome.
+type Status int
+
+// LP outcomes.
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective decreases without bound.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is the solver output.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Pivots counts simplex pivot operations across both phases.
+	Pivots int
+}
+
+// ErrIterationLimit is returned when the pivot budget runs out, which
+// with Bland's rule indicates an extremely degenerate problem or a
+// bug in the caller's formulation.
+var ErrIterationLimit = errors.New("simplex: iteration limit exceeded")
+
+const pivotEps = 1e-9
+
+// Solve minimizes c.x subject to A x = b, x >= 0 using the two-phase
+// tableau method. Rows of A must all have len(c) entries; b entries
+// may be negative (rows are flipped internally).
+func Solve(c []float64, a [][]float64, b []float64) (*Result, error) {
+	m := len(a)
+	n := len(c)
+	if len(b) != m {
+		return nil, fmt.Errorf("simplex: %d rows but %d right-hand sides", m, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("simplex: row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if m == 0 {
+		// No constraints: optimum is 0 if c >= 0, else unbounded.
+		for _, ci := range c {
+			if ci < 0 {
+				return &Result{Status: Unbounded}, nil
+			}
+		}
+		return &Result{Status: Optimal, X: make([]float64, n)}, nil
+	}
+
+	// Phase-1 tableau: columns = n structural + m artificial + RHS.
+	width := n + m + 1
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = 1
+		t[i][width-1] = sign * b[i]
+		basis[i] = n + i
+	}
+
+	// Phase-1 objective: sum of artificials. The reduced cost row is
+	// the cost row (1 on artificial columns, 0 elsewhere) minus the
+	// sum of the basic (artificial) rows, which leaves exactly 0 on
+	// the artificial columns and -sum(column) elsewhere.
+	obj := make([]float64, width)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			obj[j] -= t[i][j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		obj[width-1] -= t[i][width-1]
+	}
+
+	res := &Result{}
+	maxPivots := 50 * (m + n + 10)
+	if err := iterate(t, obj, basis, n+m, &res.Pivots, maxPivots); err != nil {
+		return nil, err
+	}
+	if phase1 := -obj[width-1]; phase1 > 1e-7 {
+		res.Status = Infeasible
+		return res, nil
+	}
+	// Drive any artificial variables out of the basis (degenerate
+	// feasible rows); rows where no structural pivot exists are
+	// redundant and can stay (their artificial is zero).
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > pivotEps {
+				pivot(t, basis, i, j)
+				res.Pivots++
+				break
+			}
+		}
+	}
+
+	// Phase-2 objective over structural columns, reduced against the
+	// current basis.
+	obj = make([]float64, width)
+	copy(obj, c)
+	for j := n; j < width-1; j++ {
+		obj[j] = 0
+	}
+	for i, bi := range basis {
+		if bi < n && math.Abs(c[bi]) > 0 {
+			coef := c[bi]
+			for j := 0; j < width; j++ {
+				obj[j] -= coef * t[i][j]
+			}
+		}
+	}
+	if err := iterate(t, obj, basis, n, &res.Pivots, maxPivots); err != nil {
+		return nil, err
+	}
+	// iterate also stops on an unbounded direction; detect that case
+	// by scanning for a negative reduced cost whose column has no
+	// positive entry.
+	for j := 0; j < n; j++ {
+		if obj[j] < -pivotEps {
+			pos := false
+			for i := 0; i < m; i++ {
+				if t[i][j] > pivotEps {
+					pos = true
+					break
+				}
+			}
+			if !pos {
+				res.Status = Unbounded
+				return res, nil
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = t[i][width-1]
+		}
+	}
+	var objective float64
+	for j := 0; j < n; j++ {
+		objective += c[j] * x[j]
+	}
+	res.Status = Optimal
+	res.X = x
+	res.Objective = objective
+	return res, nil
+}
+
+// iterate runs simplex pivots on the tableau until no reduced cost
+// among the first nCols columns is negative. Bland's rule (lowest
+// eligible index enters, lowest-index tie-break on leaving) guarantees
+// termination. Unbounded directions simply stop the iteration; the
+// caller re-detects them.
+func iterate(t [][]float64, obj []float64, basis []int, nCols int, pivots *int, maxPivots int) error {
+	m := len(t)
+	width := len(t[0])
+	for {
+		enter := -1
+		for j := 0; j < nCols; j++ {
+			if obj[j] < -pivotEps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > pivotEps {
+				ratio := t[i][width-1] / t[i][enter]
+				if ratio < best-pivotEps ||
+					(ratio < best+pivotEps && leave >= 0 && basis[i] < basis[leave]) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil // unbounded direction; caller re-detects
+		}
+		pivot(t, basis, leave, enter)
+		// Update the objective row too.
+		coef := obj[enter]
+		if coef != 0 {
+			for j := 0; j < width; j++ {
+				obj[j] -= coef * t[leave][j]
+			}
+		}
+		*pivots++
+		if *pivots > maxPivots {
+			return ErrIterationLimit
+		}
+	}
+}
+
+// pivot performs a tableau pivot on (row, col).
+func pivot(t [][]float64, basis []int, row, col int) {
+	m := len(t)
+	width := len(t[0])
+	p := t[row][col]
+	for j := 0; j < width; j++ {
+		t[row][j] /= p
+	}
+	t[row][col] = 1 // kill rounding noise on the pivot itself
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0
+	}
+	basis[row] = col
+}

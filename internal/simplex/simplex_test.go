@@ -1,0 +1,333 @@
+package simplex
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSolveBasic(t *testing.T) {
+	// min -x1 - 2x2 s.t. x1 + x2 + s1 = 4, x1 + 3x2 + s2 = 6, x >= 0.
+	// Optimum at x1 = 3, x2 = 1, objective -5.
+	c := []float64{-1, -2, 0, 0}
+	a := [][]float64{
+		{1, 1, 1, 0},
+		{1, 3, 0, 1},
+	}
+	b := []float64{4, 6}
+	r, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	if !close(r.X[0], 3, 1e-9) || !close(r.X[1], 1, 1e-9) {
+		t.Errorf("x = %v", r.X)
+	}
+	if !close(r.Objective, -5, 1e-9) {
+		t.Errorf("objective = %v", r.Objective)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x1 - x2 = -3 with x >= 0, minimize x1: x1 = 0, x2 = 3.
+	c := []float64{1, 0}
+	a := [][]float64{{-1, -1}}
+	b := []float64{-3}
+	r, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !close(r.X[0], 0, 1e-9) || !close(r.X[1], 3, 1e-9) {
+		t.Errorf("r = %+v", r)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x1 = 1 and x1 = 2 simultaneously.
+	c := []float64{1}
+	a := [][]float64{{1}, {1}}
+	b := []float64{1, 2}
+	r, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Errorf("status = %v", r.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x1 s.t. x1 - x2 = 0: both can grow forever.
+	c := []float64{-1, 0}
+	a := [][]float64{{1, -1}}
+	b := []float64{0}
+	r, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Errorf("status = %v", r.Status)
+	}
+}
+
+func TestSolveNoConstraints(t *testing.T) {
+	r, err := Solve([]float64{1, 2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || r.X[0] != 0 || r.X[1] != 0 {
+		t.Errorf("r = %+v", r)
+	}
+	r, err = Solve([]float64{-1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Errorf("status = %v", r.Status)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched b accepted")
+	}
+	if _, err := Solve([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("mismatched row accepted")
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A degenerate vertex (redundant constraint); Bland's rule must
+	// still terminate at the optimum.
+	c := []float64{-1, -1, 0, 0, 0}
+	a := [][]float64{
+		{1, 0, 1, 0, 0},
+		{0, 1, 0, 1, 0},
+		{1, 1, 0, 0, 1},
+	}
+	b := []float64{1, 1, 2} // third row redundant at the optimum
+	r, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !close(r.Objective, -2, 1e-9) {
+		t.Errorf("r = %+v", r)
+	}
+}
+
+func TestSolveRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows leave an artificial basic at zero.
+	c := []float64{1, 1}
+	a := [][]float64{
+		{1, 1},
+		{1, 1},
+		{2, 2},
+	}
+	b := []float64{2, 2, 4}
+	r, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !close(r.Objective, 2, 1e-9) {
+		t.Errorf("r = %+v", r)
+	}
+}
+
+func TestLPBuilderBounds(t *testing.T) {
+	// min x + y with 1 <= x <= 3, y free, x + y >= 5.
+	lp := NewLP()
+	x := lp.AddVar("x", 1, 1, 3)
+	y := lp.AddVar("y", 1, math.Inf(-1), math.Inf(1))
+	lp.Constrain(map[int]float64{x: 1, y: 1}, ">=", 5)
+	res, sol, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !close(sol[x]+sol[y], 5, 1e-8) {
+		t.Errorf("constraint violated: %v", sol)
+	}
+	if !close(res.Objective, 5, 1e-8) {
+		t.Errorf("objective = %v", res.Objective)
+	}
+	if sol[x] < 1-1e-9 || sol[x] > 3+1e-9 {
+		t.Errorf("bound violated: x = %v", sol[x])
+	}
+}
+
+func TestLPBuilderUpperOnly(t *testing.T) {
+	// max x (min -x) with x <= 7: x = 7.
+	lp := NewLP()
+	x := lp.AddVar("x", -1, math.Inf(-1), 7)
+	// Need at least one row to exercise the row path.
+	lp.Constrain(map[int]float64{x: 1}, "<=", 100)
+	res, sol, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || !close(sol[x], 7, 1e-8) {
+		t.Errorf("res = %+v sol = %v", res, sol)
+	}
+}
+
+func TestLPBuilderEquality(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x, y >= 0: x = 10, y = 0.
+	lp := NewLP()
+	x := lp.AddVar("x", 2, 0, math.Inf(1))
+	y := lp.AddVar("y", 3, 0, math.Inf(1))
+	lp.Constrain(map[int]float64{x: 1, y: 1}, "=", 10)
+	res, sol, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol[x], 10, 1e-8) || !close(sol[y], 0, 1e-8) {
+		t.Errorf("sol = %v", sol)
+	}
+	if !close(res.Objective, 20, 1e-8) {
+		t.Errorf("objective = %v", res.Objective)
+	}
+}
+
+func TestLPBuilderInfeasible(t *testing.T) {
+	lp := NewLP()
+	x := lp.AddVar("x", 1, 0, 1)
+	lp.Constrain(map[int]float64{x: 1}, ">=", 5)
+	res, _, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestLPBuilderErrors(t *testing.T) {
+	lp := NewLP()
+	lp.AddVar("x", 1, 3, 1) // crossed bounds
+	if _, _, err := lp.Solve(); err == nil {
+		t.Error("crossed bounds accepted")
+	}
+	lp = NewLP()
+	x := lp.AddVar("x", 1, 0, 1)
+	lp.Constrain(map[int]float64{x: 1}, "!!", 1)
+	if _, _, err := lp.Solve(); err == nil {
+		t.Error("bad operator accepted")
+	}
+	lp = NewLP()
+	lp.Constrain(map[int]float64{5: 1}, "<=", 1)
+	if _, _, err := lp.Solve(); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestLPBuilderNames(t *testing.T) {
+	lp := NewLP()
+	x := lp.AddVar("speed", 1, 0, 1)
+	if lp.Name(x) != "speed" || lp.NumVars() != 1 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestLPBuilderShiftedObjective(t *testing.T) {
+	// Lower-bound shift must be reflected in the reported objective:
+	// min x with 2 <= x <= 5 (and a slack row) -> objective 2.
+	lp := NewLP()
+	x := lp.AddVar("x", 1, 2, 5)
+	lp.Constrain(map[int]float64{x: 1}, "<=", 10)
+	res, sol, err := lp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(sol[x], 2, 1e-8) || !close(res.Objective, 2, 1e-8) {
+		t.Errorf("sol = %v obj = %v", sol, res.Objective)
+	}
+}
+
+func TestLPRandomVsBruteForce(t *testing.T) {
+	// Tiny 2-variable LPs with random constraints, cross-checked by
+	// dense vertex enumeration.
+	rng := newLCG(99)
+	for trial := 0; trial < 200; trial++ {
+		c := []float64{rng.sym(), rng.sym()}
+		var rowsA [][3]float64 // a1, a2, rhs of a1 x + a2 y <= rhs
+		lp := NewLP()
+		x := lp.AddVar("x", c[0], 0, 10)
+		y := lp.AddVar("y", c[1], 0, 10)
+		for k := 0; k < 3; k++ {
+			a1, a2 := rng.sym(), rng.sym()
+			rhs := 5 * rng.unit()
+			rowsA = append(rowsA, [3]float64{a1, a2, rhs})
+			lp.Constrain(map[int]float64{x: a1, y: a2}, "<=", rhs)
+		}
+		res, sol, err := lp.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestVal, feasible := bruteForce2D(c, rowsA)
+		if !feasible {
+			if res.Status == Optimal {
+				// Grid may just have missed a thin feasible sliver;
+				// verify the simplex point is genuinely feasible.
+				for _, r := range rowsA {
+					if r[0]*sol[x]+r[1]*sol[y] > r[2]+1e-6 {
+						t.Fatalf("trial %d: infeasible optimum %v", trial, sol)
+					}
+				}
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v but brute force found %v", trial, res.Status, bestVal)
+		}
+		if res.Objective > bestVal+1e-4 {
+			t.Errorf("trial %d: simplex %v worse than brute force %v", trial, res.Objective, bestVal)
+		}
+	}
+}
+
+// bruteForce2D grids [0,10]^2 and returns the best feasible objective.
+func bruteForce2D(c []float64, rows [][3]float64) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	const n = 200
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			x := 10 * float64(i) / n
+			y := 10 * float64(j) / n
+			ok := true
+			for _, r := range rows {
+				if r[0]*x+r[1]*y > r[2]+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				if v := c[0]*x + c[1]*y; v < best {
+					best = v
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// lcg is a tiny deterministic generator to keep the test hermetic.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+func (l *lcg) unit() float64 { return float64(l.next()>>11) / (1 << 53) }
+func (l *lcg) sym() float64  { return 2*l.unit() - 1 }

@@ -1,0 +1,93 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/ssta"
+)
+
+func TestGreedyMeetsDeadline(t *testing.T) {
+	m := treeModel(t)
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	fast, err := Size(m, Spec{Objective: MinMuPlusKSigma(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 0.5 * (fast.MuTmax + 3*fast.SigmaTmax + unit.Mu + 3*unit.Sigma())
+	out, err := SizeGreedy(m, GreedyOptions{K: 3, Deadline: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Met {
+		t.Fatalf("greedy missed feasible deadline %v: reached %v",
+			d, out.MuTmax+3*out.SigmaTmax)
+	}
+	if q := out.MuTmax + 3*out.SigmaTmax; q > d+1e-9 {
+		t.Errorf("quantile %v above deadline %v", q, d)
+	}
+	for _, id := range m.G.C.GateIDs() {
+		if out.S[id] < 1-1e-9 || out.S[id] > m.Limit+1e-9 {
+			t.Errorf("S out of bounds: %v", out.S[id])
+		}
+	}
+}
+
+func TestGreedyVsNLPArea(t *testing.T) {
+	// The NLP must be at least as area-efficient as the greedy
+	// heuristic at the same deadline (that is the point of solving
+	// the problem exactly), and the greedy result should still be in
+	// the same ballpark (within ~25%).
+	m := treeModel(t)
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	fast, err := Size(m, Spec{Objective: MinMu()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 0.5 * (unit.Mu + fast.MuTmax)
+
+	greedy, err := SizeGreedy(m, GreedyOptions{K: 0, Deadline: d, Step: 1.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greedy.Met {
+		t.Fatalf("greedy missed deadline")
+	}
+	nlpOut, err := Size(m, Spec{
+		Objective:   MinArea(),
+		Constraints: []Constraint{DelayLE(0, d)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nlpOut.SumS > greedy.SumS+1e-6 {
+		t.Errorf("NLP area %v worse than greedy %v", nlpOut.SumS, greedy.SumS)
+	}
+	if greedy.SumS > 1.25*nlpOut.SumS {
+		t.Errorf("greedy area %v too far above NLP %v", greedy.SumS, nlpOut.SumS)
+	}
+}
+
+func TestGreedyInfeasibleDeadline(t *testing.T) {
+	m := treeModel(t)
+	out, err := SizeGreedy(m, GreedyOptions{K: 0, Deadline: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Met {
+		t.Error("impossible deadline reported met")
+	}
+	// Everything should be driven to the limit trying.
+	if out.SumS < 20.9 {
+		t.Errorf("greedy gave up early: area %v", out.SumS)
+	}
+}
+
+func TestGreedyOptionValidation(t *testing.T) {
+	m := treeModel(t)
+	if _, err := SizeGreedy(m, GreedyOptions{K: 0, Deadline: 0}); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	if _, err := SizeGreedy(m, GreedyOptions{K: 0, Deadline: 5, Step: 0.9}); err == nil {
+		t.Error("shrinking step accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package sizing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/simplex"
+	"repro/internal/ssta"
+)
+
+// This file implements the deterministic LP-based sizing baseline in
+// the spirit of the paper's reference [3] (Berkelaar & Jess, EDAC
+// 1990), the method the statistical formulation supersedes. Delays are
+// deterministic (sigma ignored); the convex 1/S delay dependence is
+// lower-bounded by tangent cuts so that arrival-time propagation
+// becomes linear, and the load each gate drives is taken from the
+// previous iterate's speed factors, giving a successive-LP scheme that
+// converges in a few rounds.
+//
+// The statistical and deterministic sizings can then be compared on
+// the mu + k*sigma metric the paper cares about: the deterministic
+// baseline meets its mean target but has no handle on the delay
+// uncertainty.
+
+// LPBaselineOptions tunes the successive-LP baseline.
+type LPBaselineOptions struct {
+	// Deadline is the required deterministic circuit delay.
+	Deadline float64
+	// Tangents is the number of tangent cuts approximating 1/S over
+	// [1, limit] (default 6).
+	Tangents int
+	// MaxRounds bounds the successive-LP iterations (default 16).
+	MaxRounds int
+	// Tol is the convergence threshold on the speed-factor change
+	// between rounds (default 1e-4).
+	Tol float64
+}
+
+// LPBaselineResult reports the deterministic LP sizing.
+type LPBaselineResult struct {
+	// S holds the speed factors indexed by NodeID.
+	S []float64
+	// SumS is the area measure.
+	SumS float64
+	// DetDelay is the deterministic circuit delay at S.
+	DetDelay float64
+	// Rounds is the number of successive-LP rounds used.
+	Rounds int
+	// Pivots totals simplex pivots across rounds.
+	Pivots int
+}
+
+// SizeLPBaseline minimizes the sum of speed factors subject to a
+// deterministic delay constraint, reference-[3] style.
+func SizeLPBaseline(m *delay.Model, opt LPBaselineOptions) (*LPBaselineResult, error) {
+	if opt.Tangents == 0 {
+		opt.Tangents = 6
+	}
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 16
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-4
+	}
+	if opt.Deadline <= 0 {
+		return nil, fmt.Errorf("sizing: LP baseline needs a positive deadline, got %v", opt.Deadline)
+	}
+	g := m.G
+	gates := g.C.GateIDs()
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("sizing: circuit has no gates")
+	}
+
+	// Feasibility pre-check at the fastest sizing.
+	fastest := m.UnitSizes()
+	for _, id := range gates {
+		fastest[id] = m.Limit
+	}
+	if best := ssta.DetAnalyze(m, fastest).Tmax; best > opt.Deadline+1e-9 {
+		return nil, fmt.Errorf("sizing: deadline %v infeasible (fastest deterministic delay %v)",
+			opt.Deadline, best)
+	}
+
+	// Tangent points for the convex r(S) = 1/S on [1, limit]:
+	// 1/S >= 2/s_k - S/s_k^2 with equality at s_k.
+	tangents := make([]float64, opt.Tangents)
+	for k := range tangents {
+		f := float64(k) / float64(opt.Tangents-1)
+		tangents[k] = 1 + f*(m.Limit-1)
+	}
+
+	S := m.UnitSizes()
+	res := &LPBaselineResult{}
+	// The tangent cuts lower-bound the true delay, so the LP can
+	// overshoot the deadline slightly; target tracks the overshoot
+	// and retightens.
+	target := opt.Deadline
+	for round := 0; round < opt.MaxRounds; round++ {
+		res.Rounds = round + 1
+		lp := simplex.NewLP()
+
+		// Variables: speed factor per gate, arrival per gate output.
+		sVar := make(map[netlist.NodeID]int, len(gates))
+		aVar := make(map[netlist.NodeID]int, len(gates))
+		for _, id := range gates {
+			sVar[id] = lp.AddVar("S:"+g.C.Nodes[id].Name, 1, 1, m.Limit)
+		}
+		for _, id := range gates {
+			aVar[id] = lp.AddVar("a:"+g.C.Nodes[id].Name, 0, 0, math.Inf(1))
+		}
+
+		// Arrival constraints: for each gate and each fanin,
+		// a_g >= a_f + t_int + c*load_g*(2/s_k - S_g/s_k^2)
+		// with load_g frozen at the previous iterate.
+		for _, id := range gates {
+			load := m.Load(id, S)
+			for _, f := range g.C.Nodes[id].Fanin {
+				for _, sk := range tangents {
+					// a_g - a_f + (c*load/s_k^2) * S_g >= t_int + 2c*load/s_k (+ input arrival)
+					coeffs := map[int]float64{
+						aVar[id]: 1,
+						sVar[id]: m.Coef * load / (sk * sk),
+					}
+					rhs := m.TInt[id] + 2*m.Coef*load/sk
+					if g.C.Nodes[f].Kind == netlist.KindGate {
+						coeffs[aVar[f]] = -1
+					} else {
+						rhs += m.Arrival[f].Mu
+					}
+					lp.Constrain(coeffs, ">=", rhs)
+				}
+			}
+		}
+		// Deadline on every primary output.
+		for _, o := range g.C.Outputs {
+			lp.Constrain(map[int]float64{aVar[o]: 1}, "<=", target)
+		}
+
+		lpRes, sol, err := lp.Solve()
+		if err != nil {
+			return nil, err
+		}
+		res.Pivots += lpRes.Pivots
+		if lpRes.Status != simplex.Optimal {
+			return nil, fmt.Errorf("sizing: LP baseline round %d: %v", round+1, lpRes.Status)
+		}
+
+		// Extract and measure movement.
+		var move float64
+		for _, id := range gates {
+			nv := sol[sVar[id]]
+			if d := math.Abs(nv - S[id]); d > move {
+				move = d
+			}
+			S[id] = nv
+		}
+		// Steer the internal target so the *true* delay lands on the
+		// requested deadline: the tangent cuts and the frozen loads
+		// both bias the LP's delay estimate, in either direction.
+		trueDelay := ssta.DetAnalyze(m, S).Tmax
+		gap := opt.Deadline - trueDelay
+		switch {
+		case gap < -1e-9:
+			target += 1.05 * gap // overshoot: tighten
+			continue
+		case gap > 1e-6 && target+0.9*gap <= opt.Deadline:
+			target += 0.9 * gap // conservative: relax back
+			continue
+		}
+		if move < opt.Tol {
+			break
+		}
+	}
+	m.ClampSizes(S)
+	res.S = S
+	res.SumS = m.SumSizes(S)
+	res.DetDelay = ssta.DetAnalyze(m, S).Tmax
+	return res, nil
+}

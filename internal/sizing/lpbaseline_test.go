@@ -1,0 +1,142 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/ssta"
+)
+
+func TestLPBaselineTree(t *testing.T) {
+	m := treeModel(t)
+	unit := ssta.DetAnalyze(m, m.UnitSizes()).Tmax
+	fastest := m.UnitSizes()
+	for _, id := range m.G.C.GateIDs() {
+		fastest[id] = m.Limit
+	}
+	best := ssta.DetAnalyze(m, fastest).Tmax
+	d := 0.5 * (unit + best)
+
+	out, err := SizeLPBaseline(m, LPBaselineOptions{Deadline: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline met (tangent cuts under-approximate the delay, so
+	// allow the PWL gap).
+	if out.DetDelay > d+0.02*(unit-best) {
+		t.Errorf("deterministic delay %v misses deadline %v", out.DetDelay, d)
+	}
+	// Cheaper than full upsizing, more than no upsizing.
+	if out.SumS <= 7 || out.SumS >= 21 {
+		t.Errorf("area %v outside (7, 21)", out.SumS)
+	}
+	for _, id := range m.G.C.GateIDs() {
+		if out.S[id] < 1-1e-9 || out.S[id] > m.Limit+1e-9 {
+			t.Errorf("S[%s] = %v out of bounds", m.G.C.Nodes[id].Name, out.S[id])
+		}
+	}
+	if out.Rounds < 1 || out.Pivots < 1 {
+		t.Errorf("suspicious effort: rounds=%d pivots=%d", out.Rounds, out.Pivots)
+	}
+}
+
+func TestLPBaselineInfeasibleDeadline(t *testing.T) {
+	m := treeModel(t)
+	if _, err := SizeLPBaseline(m, LPBaselineOptions{Deadline: 0.1}); err == nil {
+		t.Error("infeasible deadline accepted")
+	}
+	if _, err := SizeLPBaseline(m, LPBaselineOptions{}); err == nil {
+		t.Error("zero deadline accepted")
+	}
+}
+
+func TestLPBaselineTighterDeadlineCostsMore(t *testing.T) {
+	m := treeModel(t)
+	unit := ssta.DetAnalyze(m, m.UnitSizes()).Tmax
+	fastest := m.UnitSizes()
+	for _, id := range m.G.C.GateIDs() {
+		fastest[id] = m.Limit
+	}
+	best := ssta.DetAnalyze(m, fastest).Tmax
+	loose, err := SizeLPBaseline(m, LPBaselineOptions{Deadline: unit - 0.2*(unit-best)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := SizeLPBaseline(m, LPBaselineOptions{Deadline: unit - 0.8*(unit-best)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.SumS <= loose.SumS {
+		t.Errorf("tighter deadline cheaper: %v vs %v", tight.SumS, loose.SumS)
+	}
+}
+
+func TestLPBaselineMatchesNLPDeterministic(t *testing.T) {
+	// At the same deterministic deadline, the LP baseline and the NLP
+	// area minimization with sigma = 0 should land at comparable area
+	// (within the PWL approximation gap).
+	m := treeModel(t)
+	m.Sigma = delay.Zero{}
+	unit := ssta.DetAnalyze(m, m.UnitSizes()).Tmax
+	fastest := m.UnitSizes()
+	for _, id := range m.G.C.GateIDs() {
+		fastest[id] = m.Limit
+	}
+	best := ssta.DetAnalyze(m, fastest).Tmax
+	d := 0.5 * (unit + best)
+
+	lpOut, err := SizeLPBaseline(m, LPBaselineOptions{Deadline: d, Tangents: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlpOut, err := Size(m, Spec{
+		Objective:   MinArea(),
+		Constraints: []Constraint{DelayLE(0, d)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PWL relaxation and the frozen-load linearization leave a
+	// few-percent optimality gap versus the exact NLP.
+	if math.Abs(lpOut.SumS-nlpOut.SumS) > 0.05*nlpOut.SumS {
+		t.Errorf("LP baseline area %v vs NLP %v", lpOut.SumS, nlpOut.SumS)
+	}
+}
+
+func TestStatisticalBeatsDeterministicOnYieldMetric(t *testing.T) {
+	// The paper's core claim: at a deadline D, deterministic sizing
+	// meets D in the mean but ignores sigma; statistical sizing under
+	// mu + 3*sigma <= D actually guarantees the 99.8% quantile. The
+	// deterministic result's own mu+3sigma must overshoot D.
+	m := treeModel(t)
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	fast, err := Size(m, Spec{Objective: MinMuPlusKSigma(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 0.5 * (fast.MuTmax + 3*fast.SigmaTmax + unit.Mu)
+
+	// Statistical: guarantee the 99.8% quantile.
+	stat, err := Size(m, Spec{
+		Objective:   MinArea(),
+		Constraints: []Constraint{DelayLE(3, d)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := stat.MuTmax + 3*stat.SigmaTmax; q > d+1e-3 {
+		t.Fatalf("statistical sizing missed its quantile target: %v > %v", q, d)
+	}
+
+	// Deterministic baseline at the same deadline on mean delay.
+	det, err := SizeLPBaseline(m, LPBaselineOptions{Deadline: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ssta.Analyze(m, det.S, false).Tmax
+	if q := r.Mu + 3*r.Sigma(); q <= d {
+		t.Errorf("deterministic sizing accidentally met the quantile: %v <= %v "+
+			"(expected overshoot: it has no sigma handle)", q, d)
+	}
+}

@@ -1,0 +1,105 @@
+package sizing
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/ssta"
+)
+
+func TestWeightedAreaRequiresWeights(t *testing.T) {
+	m := treeModel(t)
+	_, err := Size(m, Spec{Objective: MinWeightedArea()})
+	if err == nil {
+		t.Error("missing weights accepted (reduced)")
+	}
+	_, err = Size(m, Spec{Objective: MinWeightedArea(), Formulation: FullSpace})
+	if err == nil {
+		t.Error("missing weights accepted (full-space)")
+	}
+}
+
+func TestWeightedAreaUnitWeightsMatchArea(t *testing.T) {
+	m := treeModel(t)
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	fast, err := Size(m, Spec{Objective: MinMu()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 0.5 * (unit.Mu + fast.MuTmax)
+
+	w := make([]float64, len(m.G.C.Nodes))
+	for i := range w {
+		w[i] = 1
+	}
+	a, err := Size(m, Spec{Objective: MinArea(), Constraints: []Constraint{MuEQ(d)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Size(m, Spec{
+		Objective: MinWeightedArea(), Weights: w,
+		Constraints: []Constraint{MuEQ(d)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(a.SumS, b.SumS, 1e-3) {
+		t.Errorf("unit weights: %v vs plain area %v", b.SumS, a.SumS)
+	}
+}
+
+func TestPowerWeightedSizingAvoidsActiveGates(t *testing.T) {
+	// Under a power objective, a gate with a hot (high-activity)
+	// output should be kept smaller than under the plain area
+	// objective, with slack shifted to the colder gates. Build a
+	// small circuit with deliberately unequal activities: an inverter
+	// chain where activities stay 0.5 versus a NAND cone where they
+	// decay.
+	m := delay.MustBind(netlist.MustCompile(netlist.Apex2Like()), delay.Default())
+	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	fast, err := Size(m, Spec{Objective: MinMu()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := 0.5 * (unit.Mu + fast.MuTmax)
+
+	w, err := power.Weights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Size(m, Spec{Objective: MinArea(), Constraints: []Constraint{DelayLE(0, d)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := Size(m, Spec{
+		Objective: MinWeightedArea(), Weights: w,
+		Constraints: []Constraint{DelayLE(0, d)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must meet the deadline.
+	if plain.MuTmax > d+1e-3 || pw.MuTmax > d+1e-3 {
+		t.Fatalf("deadline missed: %v / %v vs %v", plain.MuTmax, pw.MuTmax, d)
+	}
+	// The power-weighted solution must cost no more *weighted* area
+	// than the plain solution (it optimizes that metric).
+	wcost := func(S []float64) float64 {
+		var v float64
+		for _, id := range m.G.C.GateIDs() {
+			v += w[id] * S[id]
+		}
+		return v
+	}
+	if wcost(pw.S) > wcost(plain.S)+1e-6 {
+		t.Errorf("weighted cost %v above plain %v", wcost(pw.S), wcost(plain.S))
+	}
+	// And the zero-delay power estimate should not be worse.
+	pPlain, _ := power.Estimate(m, plain.S)
+	pPW, _ := power.Estimate(m, pw.S)
+	if pPW > pPlain*1.02 {
+		t.Errorf("power-weighted sizing used more power: %v vs %v", pPW, pPlain)
+	}
+}

@@ -1,0 +1,207 @@
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/dist"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// This file implements the correlation-aware extension the paper's
+// section 7 names as future work: arrival times carry a canonical
+// first-order form
+//
+//	T = a0 + sum_g a_g * z_g + independent residual
+//
+// over one unit-normal source z_g per delay element (each gate's delay
+// contributes its own source, as does each primary input with
+// uncertain arrival). Shared ancestry between reconverging paths then
+// shows up as a nonzero covariance at every merge, and the stochastic
+// maximum uses Clark's correlated moment formulas with
+// tightness-weighted linear mixing — the construction later made
+// standard by parameterized SSTA. The residual keeps the represented
+// variance exact: whatever variance the linear mixing loses at a max
+// is re-injected as an independent term.
+//
+// Cost: one coefficient per gate per node, O(V * G) time and memory —
+// a factor G above the independence sweep, the price of tracking
+// correlation exactly to first order.
+
+// canonicalForm is one arrival time in canonical form. The coeff
+// vector is indexed by NodeID (sources live in the node id space).
+type canonicalForm struct {
+	mean  float64
+	coeff []float64
+	indep float64 // variance of the independent residual
+}
+
+func (f *canonicalForm) variance() float64 {
+	v := f.indep
+	for _, c := range f.coeff {
+		v += c * c
+	}
+	return v
+}
+
+// CanonicalResult reports a correlation-aware statistical sweep.
+type CanonicalResult struct {
+	// Tmax holds the circuit delay moments with path correlations
+	// tracked to first order.
+	Tmax stats.MV
+	// Arrival holds per-node arrival moments.
+	Arrival []stats.MV
+	// OutputCorr is the correlation coefficient between the first two
+	// primary outputs (NaN when the circuit has fewer than two); it
+	// quantifies how far the independence assumption of the paper's
+	// eq 18a is from the truth on this circuit.
+	OutputCorr float64
+}
+
+// AnalyzeCanonical runs the correlation-aware forward sweep.
+func AnalyzeCanonical(m *delay.Model, S []float64) *CanonicalResult {
+	g := m.G
+	n := len(g.C.Nodes)
+	forms := make([]*canonicalForm, n)
+	res := &CanonicalResult{Arrival: make([]stats.MV, n), OutputCorr: math.NaN()}
+
+	for _, id := range g.Topo {
+		nd := &g.C.Nodes[id]
+		if nd.Kind == netlist.KindInput {
+			f := &canonicalForm{mean: m.Arrival[id].Mu, coeff: make([]float64, n)}
+			// The input's own uncertainty is its own source.
+			f.coeff[id] = m.Arrival[id].Sigma()
+			forms[id] = f
+			res.Arrival[id] = m.Arrival[id]
+			continue
+		}
+		// Max over fanins, two at a time, each shifted by its pin
+		// offset (eq 1).
+		acc := shiftForm(forms[nd.Fanin[0]], m.PinOff(id, 0))
+		for k, fi := range nd.Fanin[1:] {
+			acc = maxCanonical(acc, shiftForm(forms[fi], m.PinOff(id, k+1)))
+		}
+		// Add the gate delay: mean plus the gate's own source.
+		mv := m.GateMV(id, S)
+		f := &canonicalForm{mean: acc.mean + mv.Mu, coeff: make([]float64, n), indep: acc.indep}
+		copy(f.coeff, acc.coeff)
+		f.coeff[id] += mv.Sigma()
+		forms[id] = f
+		res.Arrival[id] = stats.MV{Mu: f.mean, Var: f.variance()}
+	}
+
+	outs := g.C.Outputs
+	if len(outs) >= 2 {
+		res.OutputCorr = correlation(forms[outs[0]], forms[outs[1]])
+	}
+	acc := forms[outs[0]]
+	for _, o := range outs[1:] {
+		acc = maxCanonical(acc, forms[o])
+	}
+	res.Tmax = stats.MV{Mu: acc.mean, Var: acc.variance()}
+	return res
+}
+
+// correlation returns the correlation coefficient of two forms.
+func correlation(x, y *canonicalForm) float64 {
+	var cov float64
+	for i, xc := range x.coeff {
+		cov += xc * y.coeff[i]
+	}
+	d := math.Sqrt(x.variance() * y.variance())
+	if d == 0 {
+		return 0
+	}
+	return cov / d
+}
+
+// maxCanonical computes the canonical form of max(X, Y) using Clark's
+// correlated moments and tightness mixing.
+func maxCanonical(x, y *canonicalForm) *canonicalForm {
+	varX := x.variance()
+	varY := y.variance()
+	var cov float64
+	for i, xc := range x.coeff {
+		cov += xc * y.coeff[i]
+	}
+	theta2 := varX + varY - 2*cov
+	if theta2 < 0 {
+		theta2 = 0
+	}
+
+	// Degenerate: the difference X - Y is (numerically)
+	// deterministic, so the max is whichever operand has the larger
+	// mean.
+	if theta2 <= 1e-24 {
+		if x.mean >= y.mean {
+			return cloneForm(x)
+		}
+		return cloneForm(y)
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (x.mean - y.mean) / theta
+	// Far-separated operands: copy the winner (also avoids useless
+	// mixing work on long topological chains).
+	if alpha > 8 {
+		return cloneForm(x)
+	}
+	if alpha < -8 {
+		return cloneForm(y)
+	}
+
+	tx := dist.CDF(alpha) // tightness: P(X >= Y)
+	ty := 1 - tx
+	pdf := dist.PDF(alpha)
+
+	mean := x.mean*tx + y.mean*ty + theta*pdf
+	ex2 := (varX+x.mean*x.mean)*tx + (varY+y.mean*y.mean)*ty +
+		(x.mean+y.mean)*theta*pdf
+	varC := ex2 - mean*mean
+	if varC < 0 {
+		varC = 0
+	}
+
+	out := &canonicalForm{mean: mean, coeff: make([]float64, len(x.coeff))}
+	var linVar float64
+	for i := range out.coeff {
+		c := tx*x.coeff[i] + ty*y.coeff[i]
+		out.coeff[i] = c
+		linVar += c * c
+	}
+	// Independent residuals mix by squared tightness (they are
+	// mutually independent and independent of every shared source).
+	mixedIndep := tx*tx*x.indep + ty*ty*y.indep
+	// Residual keeps the total variance exact.
+	resid := varC - linVar - mixedIndep
+	if resid < 0 {
+		// The linear mixing can slightly overshoot the exact variance
+		// when the operands are strongly correlated; rescale the
+		// coefficients to preserve the total.
+		scale := math.Sqrt(varC / (linVar + mixedIndep))
+		for i := range out.coeff {
+			out.coeff[i] *= scale
+		}
+		mixedIndep *= scale * scale
+		resid = 0
+	}
+	out.indep = mixedIndep + resid
+	return out
+}
+
+// shiftForm translates a form's mean by a constant; zero shifts share
+// the input (maxCanonical never mutates its operands).
+func shiftForm(f *canonicalForm, off float64) *canonicalForm {
+	if off == 0 {
+		return f
+	}
+	c := cloneForm(f)
+	c.mean += off
+	return c
+}
+
+func cloneForm(f *canonicalForm) *canonicalForm {
+	c := &canonicalForm{mean: f.mean, coeff: make([]float64, len(f.coeff)), indep: f.indep}
+	copy(c.coeff, f.coeff)
+	return c
+}

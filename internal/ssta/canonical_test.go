@@ -1,0 +1,121 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+func TestCanonicalMatchesIndependenceOnTree(t *testing.T) {
+	// Trees have no reconvergence: every merge has zero covariance,
+	// so the canonical sweep must agree with the independence sweep.
+	for _, c := range []*netlist.Circuit{netlist.Tree7(), netlist.Chain(6), netlist.BalancedTree(4)} {
+		g := netlist.MustCompile(c)
+		lib := delay.Default()
+		if c.Name == "tree7" {
+			lib = delay.PaperTree()
+		}
+		m := delay.MustBind(g, lib)
+		S := m.UnitSizes()
+		ind := Analyze(m, S, false).Tmax
+		can := AnalyzeCanonical(m, S).Tmax
+		if !close(can.Mu, ind.Mu, 1e-9) {
+			t.Errorf("%s: canonical mu %v vs independence %v", c.Name, can.Mu, ind.Mu)
+		}
+		if !close(can.Var, ind.Var, 1e-9) {
+			t.Errorf("%s: canonical var %v vs independence %v", c.Name, can.Var, ind.Var)
+		}
+	}
+}
+
+func TestCanonicalPerNodeMomentsOnChain(t *testing.T) {
+	g := netlist.MustCompile(netlist.Chain(4))
+	m := delay.MustBind(g, delay.Default())
+	S := m.UnitSizes()
+	can := AnalyzeCanonical(m, S)
+	var want stats.MV
+	for _, id := range g.C.GateIDs() {
+		want = stats.Add(want, m.GateMV(id, S))
+		got := can.Arrival[id]
+		if !close(got.Mu, want.Mu, 1e-12) || !close(got.Var, want.Var, 1e-12) {
+			t.Errorf("arrival(%s) = %+v, want %+v", g.C.Nodes[id].Name, got, want)
+		}
+	}
+}
+
+func TestCanonicalSharedPathCorrelation(t *testing.T) {
+	// Two outputs sharing a long common prefix: in -> chain -> two
+	// inverters. Their arrivals must be almost perfectly correlated.
+	c := netlist.New("shared")
+	c.AddInput("in")
+	c.AddGate("g1", "inv", "in")
+	c.AddGate("g2", "inv", "g1")
+	c.AddGate("g3", "inv", "g2")
+	c.AddGate("o1", "inv", "g3")
+	c.AddGate("o2", "inv", "g3")
+	c.MarkOutput("o1")
+	c.MarkOutput("o2")
+	g := netlist.MustCompile(c)
+	m := delay.MustBind(g, delay.Default())
+	can := AnalyzeCanonical(m, m.UnitSizes())
+	if can.OutputCorr < 0.5 {
+		t.Errorf("shared-prefix correlation = %v, want substantial", can.OutputCorr)
+	}
+	// The max of two nearly identical variables barely inflates the
+	// mean: Tmax.Mu must sit well below the independent estimate.
+	ind := Analyze(m, m.UnitSizes(), false).Tmax
+	if can.Tmax.Mu >= ind.Mu {
+		t.Errorf("correlation-aware mean %v not below independent %v", can.Tmax.Mu, ind.Mu)
+	}
+	// And the sigma must stay closer to the single-path sigma.
+	if can.Tmax.Var <= ind.Var {
+		t.Errorf("correlation-aware var %v not above independent %v", can.Tmax.Var, ind.Var)
+	}
+}
+
+func TestCanonicalIdenticalOperandsExact(t *testing.T) {
+	// max(X, X) = X exactly; the canonical form detects the perfect
+	// correlation (theta = 0) while the independence model wrongly
+	// inflates the mean.
+	c := netlist.New("dup")
+	c.AddInput("in")
+	c.AddGate("g1", "inv", "in")
+	c.AddGate("g2", "nand2", "g1", "g1")
+	c.MarkOutput("g2")
+	g := netlist.MustCompile(c)
+	m := delay.MustBind(g, delay.Default())
+	S := m.UnitSizes()
+	can := AnalyzeCanonical(m, S)
+	want := stats.Add(m.GateMV(g.C.MustID("g1"), S), m.GateMV(g.C.MustID("g2"), S))
+	if !close(can.Tmax.Mu, want.Mu, 1e-9) || !close(can.Tmax.Var, want.Var, 1e-9) {
+		t.Errorf("dup-pin Tmax = %+v, want %+v", can.Tmax, want)
+	}
+	ind := Analyze(m, S, false).Tmax
+	if ind.Mu <= want.Mu {
+		t.Errorf("independence model should inflate the duplicated max: %v vs %v", ind.Mu, want.Mu)
+	}
+}
+
+func TestCanonicalOutputCorrNaNForSingleOutput(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	can := AnalyzeCanonical(m, m.UnitSizes())
+	if !math.IsNaN(can.OutputCorr) {
+		t.Errorf("single-output correlation = %v, want NaN", can.OutputCorr)
+	}
+}
+
+func TestCanonicalVarianceNonNegative(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Apex1Like()), delay.Default())
+	can := AnalyzeCanonical(m, m.UnitSizes())
+	for id, a := range can.Arrival {
+		if a.Var < 0 {
+			t.Errorf("node %d variance %v", id, a.Var)
+		}
+	}
+	if can.Tmax.Var < 0 {
+		t.Errorf("Tmax variance %v", can.Tmax.Var)
+	}
+}

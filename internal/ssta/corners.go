@@ -1,0 +1,74 @@
+package ssta
+
+import (
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+// CornerResult holds the traditional best/typical/worst-case timing
+// the paper's introduction positions statistical analysis against:
+// every gate simultaneously at mu - k*sigma (best), mu (typical) or
+// mu + k*sigma (worst). The paper (after its refs [1], [2]) points out
+// that worst-case corners are "very pessimistic": all gates being
+// simultaneously slow is a probability-zero event, and the statistical
+// quantile mu_Tmax + k*sigma_Tmax sits far below the worst corner
+// because independent per-gate deviations cancel along paths
+// (sigma of a sum grows like sqrt(depth), not depth).
+type CornerResult struct {
+	K                    float64
+	Best, Typical, Worst float64
+	// StatQuantile is the statistical mu + k*sigma circuit quantile,
+	// the apples-to-apples replacement for the worst corner.
+	StatQuantile float64
+	// Pessimism is Worst - StatQuantile: the margin the traditional
+	// methodology wastes.
+	Pessimism float64
+}
+
+// Corners runs the three deterministic corner sweeps plus the
+// statistical sweep at quantile multiplier k.
+func Corners(m *delay.Model, S []float64, k float64) *CornerResult {
+	res := &CornerResult{K: k}
+	res.Best = cornerSweep(m, S, -k)
+	res.Typical = cornerSweep(m, S, 0)
+	res.Worst = cornerSweep(m, S, k)
+	r := Analyze(m, S, false)
+	res.StatQuantile = r.Tmax.Mu + k*r.Tmax.Sigma()
+	res.Pessimism = res.Worst - res.StatQuantile
+	return res
+}
+
+// cornerSweep is a deterministic sweep with every gate delay set to
+// mu + k*sigma (k may be negative; delays are floored at zero).
+func cornerSweep(m *delay.Model, S []float64, k float64) float64 {
+	g := m.G
+	n := len(g.C.Nodes)
+	arr := make([]float64, n)
+	for _, id := range g.Topo {
+		nd := &g.C.Nodes[id]
+		if nd.Kind == netlist.KindInput {
+			a := m.Arrival[id]
+			arr[id] = a.Mu + k*a.Sigma()
+			continue
+		}
+		u := arr[nd.Fanin[0]] + m.PinOff(id, 0)
+		for pin, f := range nd.Fanin[1:] {
+			if a := arr[f] + m.PinOff(id, pin+1); a > u {
+				u = a
+			}
+		}
+		mv := m.GateMV(id, S)
+		d := mv.Mu + k*mv.Sigma()
+		if d < 0 {
+			d = 0
+		}
+		arr[id] = u + d
+	}
+	var tmax float64
+	for i, o := range g.C.Outputs {
+		if i == 0 || arr[o] > tmax {
+			tmax = arr[o]
+		}
+	}
+	return tmax
+}

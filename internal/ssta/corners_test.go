@@ -1,0 +1,74 @@
+package ssta
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+)
+
+func TestCornersOrdering(t *testing.T) {
+	for _, c := range []*netlist.Circuit{netlist.Tree7(), netlist.Apex2Like(), netlist.Chain(10)} {
+		lib := delay.Default()
+		if c.Name == "tree7" {
+			lib = delay.PaperTree()
+		}
+		m := delay.MustBind(netlist.MustCompile(c), lib)
+		S := m.UnitSizes()
+		cr := Corners(m, S, 3)
+		if !(cr.Best < cr.Typical && cr.Typical < cr.Worst) {
+			t.Errorf("%s: corners not ordered: %v %v %v", c.Name, cr.Best, cr.Typical, cr.Worst)
+		}
+		// The paper's motivating claim: the worst corner is (much)
+		// more pessimistic than the statistical quantile.
+		if cr.Pessimism <= 0 {
+			t.Errorf("%s: no pessimism: worst %v vs quantile %v",
+				c.Name, cr.Worst, cr.StatQuantile)
+		}
+	}
+}
+
+func TestCornerPessimismGrowsWithDepth(t *testing.T) {
+	// Per-gate sigmas add linearly at the corner but as sqrt(depth)
+	// statistically, so the relative pessimism grows with depth.
+	rel := func(n int) float64 {
+		m := delay.MustBind(netlist.MustCompile(netlist.Chain(n)), delay.Default())
+		cr := Corners(m, m.UnitSizes(), 3)
+		return cr.Pessimism / cr.Typical
+	}
+	if !(rel(4) < rel(16) && rel(16) < rel(64)) {
+		t.Errorf("pessimism not growing with depth: %v %v %v", rel(4), rel(16), rel(64))
+	}
+}
+
+func TestStatQuantileCalibratedOnChain(t *testing.T) {
+	// On a chain the statistical quantile is exact (sum of
+	// independent normals): Monte Carlo's 99.8% point must match
+	// mu + 3*sigma, while the worst corner overshoots it.
+	m := delay.MustBind(netlist.MustCompile(netlist.Chain(12)), delay.Default())
+	S := m.UnitSizes()
+	cr := Corners(m, S, 3)
+	mc, err := montecarlo.Run(m, S, montecarlo.Options{
+		Samples: 200000, Seed: 3, KeepSamples: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mc.Quantile(0.998)
+	if !close(cr.StatQuantile, q, 0.02*q) {
+		t.Errorf("stat quantile %v vs MC 99.8%% point %v", cr.StatQuantile, q)
+	}
+	if cr.Worst < q*1.1 {
+		t.Errorf("worst corner %v not clearly pessimistic vs %v", cr.Worst, q)
+	}
+}
+
+func TestCornerWithZeroSigmaCollapses(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	m.Sigma = delay.Zero{}
+	cr := Corners(m, m.UnitSizes(), 3)
+	if cr.Best != cr.Worst || cr.Pessimism != 0 {
+		t.Errorf("zero sigma: %+v", cr)
+	}
+}

@@ -1,0 +1,98 @@
+package ssta
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+// offsetModel builds a 2-input gate whose second pin is slower,
+// exercising eq 1's per-pin delays.
+func offsetModel(t *testing.T, off float64) *delay.Model {
+	t.Helper()
+	c := netlist.New("off")
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddGate("g", "slow2", "a", "b")
+	c.MarkOutput("g")
+	lib := delay.NewLibrary(1, 0.5, 0, 0)
+	lib.Add(delay.CellType{
+		Name: "slow2", Fanin: 2, TInt: 1, CIn: 1,
+		PinOffsets: []float64{0, off},
+	})
+	return delay.MustBind(netlist.MustCompile(c), lib)
+}
+
+func TestPinOffsetsShiftDeterministicArrival(t *testing.T) {
+	m := offsetModel(t, 0.7)
+	m.Sigma = delay.Zero{}
+	S := m.UnitSizes()
+	r := DetAnalyze(m, S)
+	// Inputs arrive at 0; pin b contributes 0 + 0.7, so
+	// Tmax = 0.7 + gate delay.
+	g := m.G.C.MustID("g")
+	want := 0.7 + m.GateMu(g, S)
+	if !close(r.Tmax, want, 1e-12) {
+		t.Errorf("det Tmax = %v, want %v", r.Tmax, want)
+	}
+	// The critical path must come through input b.
+	path := r.CriticalPath(m)
+	if m.G.C.Nodes[path[0]].Name != "b" {
+		t.Errorf("critical path starts at %s, want b", m.G.C.Nodes[path[0]].Name)
+	}
+}
+
+func TestPinOffsetsShiftStatisticalArrival(t *testing.T) {
+	// With deterministic inputs at 0 and a large offset, the max is
+	// dominated by the offset pin: mu = off + gate mu.
+	m := offsetModel(t, 5)
+	S := m.UnitSizes()
+	r := Analyze(m, S, false)
+	g := m.G.C.MustID("g")
+	want := 5 + m.GateMu(g, S)
+	if !close(r.Tmax.Mu, want, 1e-9) {
+		t.Errorf("stat Tmax.Mu = %v, want %v", r.Tmax.Mu, want)
+	}
+	// Canonical agrees.
+	can := AnalyzeCanonical(m, S)
+	if !close(can.Tmax.Mu, want, 1e-9) {
+		t.Errorf("canonical Tmax.Mu = %v, want %v", can.Tmax.Mu, want)
+	}
+}
+
+func TestPinOffsetsGradientStillExact(t *testing.T) {
+	// The adjoint must remain exact with offsets in play (constant
+	// shifts do not change the max Jacobians). Use the default
+	// library, whose nand3/nand4 carry offsets, on a circuit that
+	// contains them.
+	g := netlist.MustCompile(netlist.Fig2Example()) // D is a nand3
+	m := delay.MustBind(g, delay.Default())
+	S := m.UnitSizes()
+	for i, id := range g.C.GateIDs() {
+		S[id] = 1 + 0.15*float64(i)
+	}
+	_, grad := GradMuPlusKSigma(m, S, 3)
+	for _, id := range g.C.GateIDs() {
+		fd := gradFD(m, S, 3, id)
+		if !close(grad[id], fd, 2e-4) {
+			t.Errorf("d/dS[%s]: adjoint %v, FD %v", g.C.Nodes[id].Name, grad[id], fd)
+		}
+	}
+}
+
+func TestBindRejectsBadOffsets(t *testing.T) {
+	c := netlist.New("bad")
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddGate("g", "bad2", "a", "b")
+	c.MarkOutput("g")
+	lib := delay.NewLibrary(1, 0, 0, 0)
+	lib.Add(delay.CellType{
+		Name: "bad2", Fanin: 2, TInt: 1, CIn: 1,
+		PinOffsets: []float64{0}, // wrong length
+	})
+	if _, err := delay.Bind(netlist.MustCompile(c), lib); err == nil {
+		t.Error("mismatched pin offsets accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package ssta
+
+import (
+	"strings"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// This file implements the rise/fall half of the paper's section 2
+// delay model ("different rise and fall times are allowed"), which
+// the paper's own experiments simplify away. Every node carries two
+// arrival distributions — for rising and falling output transitions —
+// and gates couple them by logical polarity: an inverting gate's
+// output rises when its inputs fall, a non-inverting gate preserves
+// the sense, and a parity gate (XOR/XNOR) mixes both. Rise and fall
+// gate delays differ by the cell's skew factor.
+
+// Polarity classifies how a gate couples input and output transitions.
+type Polarity int
+
+// Gate polarities.
+const (
+	// Inverting: output rise <- input fall (inv, nand, nor).
+	Inverting Polarity = iota
+	// NonInverting: output rise <- input rise (buf, and, or).
+	NonInverting
+	// Mixing: output transitions depend on both input senses
+	// (xor, xnor, unknown cells — the conservative choice).
+	Mixing
+)
+
+// PolarityOf classifies a library type name. Parity gates are matched
+// first so "xnor" is not mistaken for a "nor" prefix.
+func PolarityOf(typ string) Polarity {
+	switch {
+	case strings.HasPrefix(typ, "xor") || strings.HasPrefix(typ, "xnor"):
+		return Mixing
+	case typ == "inv" || typ == "not" ||
+		strings.HasPrefix(typ, "nand") || strings.HasPrefix(typ, "nor"):
+		return Inverting
+	case typ == "buf" || strings.HasPrefix(typ, "and") || strings.HasPrefix(typ, "or"):
+		return NonInverting
+	default:
+		return Mixing
+	}
+}
+
+// RiseFallResult holds a dual-polarity statistical sweep.
+type RiseFallResult struct {
+	// Rise[id] and Fall[id] are the arrival distributions of rising
+	// and falling transitions at node id.
+	Rise, Fall []stats.MV
+	// TmaxRise and TmaxFall are the circuit delays per sense; Tmax is
+	// their stochastic max (a transition of either sense must settle).
+	TmaxRise, TmaxFall, Tmax stats.MV
+}
+
+// AnalyzeRiseFall runs the dual-polarity statistical sweep. The skew
+// parameter makes rising gate delays slower by (1 + skew) and falling
+// ones faster by (1 - skew), modeling the P/N drive asymmetry the
+// paper's general model allows; skew = 0 reduces exactly to Analyze.
+func AnalyzeRiseFall(m *delay.Model, S []float64, skew float64) *RiseFallResult {
+	g := m.G
+	n := len(g.C.Nodes)
+	r := &RiseFallResult{
+		Rise: make([]stats.MV, n),
+		Fall: make([]stats.MV, n),
+	}
+	for _, id := range g.Topo {
+		nd := &g.C.Nodes[id]
+		if nd.Kind == netlist.KindInput {
+			r.Rise[id] = m.Arrival[id]
+			r.Fall[id] = m.Arrival[id]
+			continue
+		}
+		pol := PolarityOf(nd.Type)
+		// Fold the relevant input arrivals per output sense.
+		foldInputs := func(rising bool) stats.MV {
+			pick := func(f netlist.NodeID) stats.MV {
+				switch pol {
+				case Inverting:
+					if rising {
+						return r.Fall[f]
+					}
+					return r.Rise[f]
+				case NonInverting:
+					if rising {
+						return r.Rise[f]
+					}
+					return r.Fall[f]
+				default: // Mixing: either sense can trigger either edge
+					return stats.Max2(r.Rise[f], r.Fall[f])
+				}
+			}
+			acc := shiftMV(pick(nd.Fanin[0]), m.PinOff(id, 0))
+			for k, f := range nd.Fanin[1:] {
+				acc = stats.Max2(acc, shiftMV(pick(f), m.PinOff(id, k+1)))
+			}
+			return acc
+		}
+		mu := m.GateMu(id, S)
+		riseDelay := mu * (1 + skew)
+		fallDelay := mu * (1 - skew)
+		if fallDelay < 0 {
+			fallDelay = 0
+		}
+		r.Rise[id] = stats.Add(foldInputs(true),
+			stats.MV{Mu: riseDelay, Var: m.Sigma.Var(riseDelay)})
+		r.Fall[id] = stats.Add(foldInputs(false),
+			stats.MV{Mu: fallDelay, Var: m.Sigma.Var(fallDelay)})
+	}
+	outs := g.C.Outputs
+	r.TmaxRise = r.Rise[outs[0]]
+	r.TmaxFall = r.Fall[outs[0]]
+	for _, o := range outs[1:] {
+		r.TmaxRise = stats.Max2(r.TmaxRise, r.Rise[o])
+		r.TmaxFall = stats.Max2(r.TmaxFall, r.Fall[o])
+	}
+	r.Tmax = stats.Max2(r.TmaxRise, r.TmaxFall)
+	return r
+}

@@ -1,0 +1,114 @@
+package ssta
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+func TestPolarityOf(t *testing.T) {
+	cases := map[string]Polarity{
+		"inv": Inverting, "not": Inverting, "nand2": Inverting,
+		"nand4": Inverting, "nor3": Inverting,
+		"buf": NonInverting, "and2": NonInverting, "or4": NonInverting,
+		"xor2": Mixing, "xnor2": Mixing, "mystery": Mixing,
+	}
+	for typ, want := range cases {
+		if got := PolarityOf(typ); got != want {
+			t.Errorf("PolarityOf(%q) = %v, want %v", typ, got, want)
+		}
+	}
+}
+
+func TestRiseFallZeroSkewMatchesPlain(t *testing.T) {
+	// With zero skew the two senses collapse and Tmax must equal the
+	// single-sense analysis on inverting-only circuits.
+	for _, c := range []*netlist.Circuit{netlist.Tree7(), netlist.Chain(6), netlist.Fig2Example()} {
+		lib := delay.Default()
+		if c.Name == "tree7" {
+			lib = delay.PaperTree()
+		}
+		m := delay.MustBind(netlist.MustCompile(c), lib)
+		S := m.UnitSizes()
+		plain := Analyze(m, S, false).Tmax
+		rf := AnalyzeRiseFall(m, S, 0)
+		// Rise and fall are identical, so max(rise, fall) of two
+		// identical (and perfectly dependent) arrivals equals each —
+		// but the independent Max2 inflates slightly; compare the
+		// per-sense delays instead.
+		if !close(rf.TmaxRise.Mu, plain.Mu, 1e-9) || !close(rf.TmaxFall.Mu, plain.Mu, 1e-9) {
+			t.Errorf("%s: per-sense mu %v/%v vs plain %v",
+				c.Name, rf.TmaxRise.Mu, rf.TmaxFall.Mu, plain.Mu)
+		}
+		if !close(rf.TmaxRise.Var, plain.Var, 1e-9) {
+			t.Errorf("%s: per-sense var %v vs plain %v", c.Name, rf.TmaxRise.Var, plain.Var)
+		}
+	}
+}
+
+func TestRiseFallSkewAlternatesOnInverterChain(t *testing.T) {
+	// On an inverter chain, a rising output at stage i comes from a
+	// falling output at stage i-1: the senses alternate, so each
+	// path mixes (1+skew) and (1-skew) delays roughly evenly and the
+	// worst sense exceeds the zero-skew delay by much less than
+	// skew * depth.
+	m := delay.MustBind(netlist.MustCompile(netlist.Chain(10)), delay.Default())
+	S := m.UnitSizes()
+	base := AnalyzeRiseFall(m, S, 0)
+	skewed := AnalyzeRiseFall(m, S, 0.3)
+	if skewed.Tmax.Mu <= base.Tmax.Mu {
+		t.Errorf("skew did not increase worst delay: %v vs %v", skewed.Tmax.Mu, base.Tmax.Mu)
+	}
+	// Full-corner bound would be (1+0.3)*base; alternation keeps the
+	// mean far below that.
+	if skewed.Tmax.Mu >= 1.2*base.Tmax.Mu {
+		t.Errorf("alternation lost: %v vs bound %v", skewed.Tmax.Mu, 1.3*base.Tmax.Mu)
+	}
+}
+
+func TestRiseFallNonInvertingChainAccumulatesSkew(t *testing.T) {
+	// A buffer chain preserves the sense, so the rising output delay
+	// accumulates the full (1+skew) factor at every stage.
+	c := netlist.New("bufchain")
+	c.AddInput("in")
+	prev := "in"
+	for i := 0; i < 8; i++ {
+		name := "b" + string(rune('0'+i))
+		c.AddGate(name, "buf", prev)
+		prev = name
+	}
+	c.MarkOutput(prev)
+	m := delay.MustBind(netlist.MustCompile(c), delay.Default())
+	S := m.UnitSizes()
+	base := AnalyzeRiseFall(m, S, 0)
+	skewed := AnalyzeRiseFall(m, S, 0.3)
+	if !close(skewed.TmaxRise.Mu, 1.3*base.TmaxRise.Mu, 1e-9) {
+		t.Errorf("buffer chain rise %v, want %v", skewed.TmaxRise.Mu, 1.3*base.TmaxRise.Mu)
+	}
+	if !close(skewed.TmaxFall.Mu, 0.7*base.TmaxFall.Mu, 1e-9) {
+		t.Errorf("buffer chain fall %v, want %v", skewed.TmaxFall.Mu, 0.7*base.TmaxFall.Mu)
+	}
+}
+
+func TestRiseFallMixingGateUsesWorstSense(t *testing.T) {
+	// An XOR after a skewed buffer must see the max of rise and fall.
+	c := netlist.New("x")
+	c.AddInput("a")
+	c.AddInput("b")
+	c.AddGate("bufa", "buf", "a")
+	c.AddGate("x", "xor2", "bufa", "b")
+	c.MarkOutput("x")
+	m := delay.MustBind(netlist.MustCompile(c), delay.Default())
+	S := m.UnitSizes()
+	rf := AnalyzeRiseFall(m, S, 0.4)
+	// The XOR's inputs' worst sense is the slow rising buffer; both
+	// XOR output senses must be at least that plus the XOR's faster
+	// (falling) delay.
+	bufRise := rf.Rise[m.G.C.MustID("bufa")]
+	xorFall := m.GateMu(m.G.C.MustID("x"), S) * (1 - 0.4)
+	if rf.TmaxFall.Mu < bufRise.Mu+xorFall-1e-9 {
+		t.Errorf("mixing gate ignored worst input sense: %v < %v",
+			rf.TmaxFall.Mu, bufRise.Mu+xorFall)
+	}
+}

@@ -1,0 +1,113 @@
+package ssta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+func TestSlacksChainDecomposition(t *testing.T) {
+	// On a chain with k = 0 the slack at every node equals
+	// deadline - deterministic circuit delay (one path, exact
+	// decomposition).
+	g := netlist.MustCompile(netlist.Chain(5))
+	m := delay.MustBind(g, delay.Default())
+	S := m.UnitSizes()
+	det := DetAnalyze(m, S)
+	deadline := det.Tmax + 2
+	sr := Slacks(m, S, 0, deadline)
+	for _, id := range g.C.GateIDs() {
+		if !close(sr.Slack[id], 2, 1e-9) {
+			t.Errorf("slack(%s) = %v, want 2", g.C.Nodes[id].Name, sr.Slack[id])
+		}
+	}
+	if !close(sr.WorstSlack, 2, 1e-9) {
+		t.Errorf("worst slack = %v", sr.WorstSlack)
+	}
+}
+
+func TestSlacksNegativeWhenDeadlineMissed(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	S := m.UnitSizes()
+	r := Analyze(m, S, false)
+	// Deadline below the mean circuit delay: worst slack negative.
+	sr := Slacks(m, S, 0, r.Tmax.Mu-1)
+	if sr.WorstSlack >= 0 {
+		t.Errorf("worst slack = %v, want negative", sr.WorstSlack)
+	}
+	// Deadline above it by a margin: everything positive at k = 0.
+	sr = Slacks(m, S, 0, r.Tmax.Mu+1)
+	if sr.WorstSlack <= 0 {
+		t.Errorf("worst slack = %v, want positive", sr.WorstSlack)
+	}
+}
+
+func TestSlacksQuantileTighter(t *testing.T) {
+	// Raising k can only shrink slack (larger arrival quantiles,
+	// larger per-stage budgets).
+	m := delay.MustBind(netlist.MustCompile(netlist.Apex2Like()), delay.Default())
+	S := m.UnitSizes()
+	det := DetAnalyze(m, S)
+	d := det.Tmax * 1.3
+	s0 := Slacks(m, S, 0, d)
+	s3 := Slacks(m, S, 3, d)
+	if s3.WorstSlack >= s0.WorstSlack {
+		t.Errorf("k=3 worst slack %v not below k=0 %v", s3.WorstSlack, s0.WorstSlack)
+	}
+}
+
+func TestSlacksConservativeVsCircuitCheck(t *testing.T) {
+	// If the circuit-level quantile check passes with margin eps,
+	// per-node slacks can be negative (conservative decomposition)
+	// but the output node's slack must be >= the true margin is not
+	// guaranteed either; what IS guaranteed: if worst slack >= 0 then
+	// the circuit quantile meets the deadline.
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	S := m.UnitSizes()
+	r := Analyze(m, S, false)
+	d := r.Tmax.Mu + 3*r.Tmax.Sigma() + 0.8
+	sr := Slacks(m, S, 3, d)
+	if sr.WorstSlack >= 0 {
+		if q := r.Tmax.Mu + 3*r.Tmax.Sigma(); q > d {
+			t.Errorf("positive slacks but quantile %v misses deadline %v", q, d)
+		}
+	}
+}
+
+func TestCriticalNodesSorted(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Apex2Like()), delay.Default())
+	S := m.UnitSizes()
+	det := DetAnalyze(m, S)
+	sr := Slacks(m, S, 0, det.Tmax*0.9) // infeasible: many negatives
+	crit := sr.CriticalNodes(0)
+	if len(crit) == 0 {
+		t.Fatal("no critical nodes under an infeasible deadline")
+	}
+	for i := 1; i < len(crit); i++ {
+		if sr.Slack[crit[i]] < sr.Slack[crit[i-1]]-1e-12 {
+			t.Errorf("critical list not sorted at %d", i)
+		}
+	}
+	// All listed nodes are actually below threshold.
+	for _, id := range crit {
+		if sr.Slack[id] >= 0 {
+			t.Errorf("node %d has non-negative slack %v", id, sr.Slack[id])
+		}
+	}
+}
+
+func TestSlacksUnreachedNodesInfinite(t *testing.T) {
+	// A dangling gate (not an output, no fanout) has no requirement.
+	c := netlist.New("t")
+	c.AddInput("a")
+	c.AddGate("used", "inv", "a")
+	c.AddGate("dead", "inv", "a")
+	c.MarkOutput("used")
+	m := delay.MustBind(netlist.MustCompile(c), delay.Default())
+	sr := Slacks(m, m.UnitSizes(), 0, 10)
+	if !math.IsInf(sr.Required[c.MustID("dead")], 1) {
+		t.Errorf("dead requirement = %v, want +Inf", sr.Required[c.MustID("dead")])
+	}
+}

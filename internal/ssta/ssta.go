@@ -1,0 +1,254 @@
+// Package ssta implements statistical static timing analysis in the
+// style of Berkelaar's linear-time method (the paper's refs [1], [2]):
+// one topological forward sweep propagating Gaussian arrival-time
+// moments through the analytic add and max operators of
+// internal/stats.
+//
+// Beyond the paper, the package also implements the exact adjoint
+// (reverse-mode) sweep: because every operator has closed-form
+// derivatives, the gradient of any function of the circuit delay
+// moments with respect to all gate speed factors is available in one
+// additional backward pass. The reduced sizing formulation in
+// internal/sizing is built on this.
+package ssta
+
+import (
+	"math"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+// shiftMV translates a moment pair by a constant delay.
+func shiftMV(mv stats.MV, off float64) stats.MV {
+	if off == 0 {
+		return mv
+	}
+	return stats.MV{Mu: mv.Mu + off, Var: mv.Var}
+}
+
+// Result holds the outcome of a statistical timing sweep.
+type Result struct {
+	// Arrival[id] is the arrival-time distribution at node id's
+	// output (for inputs: the input arrival itself).
+	Arrival []stats.MV
+	// GateDelay[id] is the gate delay distribution used for gate id.
+	GateDelay []stats.MV
+	// Tmax is the circuit delay distribution: the stochastic max over
+	// all primary outputs.
+	Tmax stats.MV
+
+	withTape bool
+	// gateFold[id] holds the Jacobian of each two-operand max in the
+	// left fold over gate id's fanins (k fanins produce k-1 steps).
+	gateFold [][]stats.Jac2x4
+	// outFold holds the Jacobians of the fold over primary outputs.
+	outFold []stats.Jac2x4
+}
+
+// Analyze runs the forward statistical sweep for the model under the
+// speed-factor assignment S (indexed by NodeID). When withTape is set,
+// the per-max Jacobians are recorded so Backward can run.
+func Analyze(m *delay.Model, S []float64, withTape bool) *Result {
+	g := m.G
+	n := len(g.C.Nodes)
+	r := &Result{
+		Arrival:   make([]stats.MV, n),
+		GateDelay: make([]stats.MV, n),
+		withTape:  withTape,
+	}
+	if withTape {
+		r.gateFold = make([][]stats.Jac2x4, n)
+	}
+	for _, id := range g.Topo {
+		nd := &g.C.Nodes[id]
+		if nd.Kind == netlist.KindInput {
+			r.Arrival[id] = m.Arrival[id]
+			continue
+		}
+		// U = max over fanin arrivals, folded two at a time
+		// (paper eq 18b); each operand is shifted by its pin's
+		// additive delay (eq 1's per-pin t_i). Constant shifts leave
+		// the max Jacobians valid as-is, so the tape is unchanged.
+		u := shiftMV(r.Arrival[nd.Fanin[0]], m.PinOff(id, 0))
+		if withTape && len(nd.Fanin) > 1 {
+			steps := make([]stats.Jac2x4, 0, len(nd.Fanin)-1)
+			for k, f := range nd.Fanin[1:] {
+				var jac stats.Jac2x4
+				u, jac = stats.Max2Jac(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
+				steps = append(steps, jac)
+			}
+			r.gateFold[id] = steps
+		} else {
+			for k, f := range nd.Fanin[1:] {
+				u = stats.Max2(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
+			}
+		}
+		// T = U + t (paper eq 18c), with t from the sizable model.
+		t := m.GateMV(id, S)
+		r.GateDelay[id] = t
+		r.Arrival[id] = stats.Add(u, t)
+	}
+	// Circuit delay: stochastic max over the primary outputs
+	// (paper eq 18a).
+	outs := g.C.Outputs
+	tmax := r.Arrival[outs[0]]
+	if withTape && len(outs) > 1 {
+		r.outFold = make([]stats.Jac2x4, 0, len(outs)-1)
+		for _, o := range outs[1:] {
+			var jac stats.Jac2x4
+			tmax, jac = stats.Max2Jac(tmax, r.Arrival[o])
+			r.outFold = append(r.outFold, jac)
+		}
+	} else {
+		for _, o := range outs[1:] {
+			tmax = stats.Max2(tmax, r.Arrival[o])
+		}
+	}
+	r.Tmax = tmax
+	return r
+}
+
+// Backward propagates the adjoint seed (d phi/d muTmax, d phi/d
+// varTmax) back through the recorded sweep, returning d phi/d S as a
+// vector indexed by NodeID (input entries are zero). The Result must
+// have been produced with withTape set and the same (m, S).
+func (r *Result) Backward(m *delay.Model, S []float64, seedMu, seedVar float64) []float64 {
+	if !r.withTape {
+		panic("ssta: Backward requires a taped Analyze")
+	}
+	g := m.G
+	n := len(g.C.Nodes)
+	// adjMu/adjVar accumulate d phi / d Arrival[id].{Mu, Var}.
+	adjMu := make([]float64, n)
+	adjVar := make([]float64, n)
+	grad := make([]float64, n)
+
+	// Unfold the output max in reverse.
+	outs := g.C.Outputs
+	aMu, aVar := seedMu, seedVar // adjoint of the fold accumulator
+	for i := len(outs) - 1; i >= 1; i-- {
+		j := r.outFold[i-1]
+		o := outs[i]
+		// Operand B of the step is output i.
+		adjMu[o] += aMu*j[0][2] + aVar*j[1][2]
+		adjVar[o] += aMu*j[0][3] + aVar*j[1][3]
+		// Accumulator A feeds the previous step.
+		aMu, aVar = aMu*j[0][0]+aVar*j[1][0], aMu*j[0][1]+aVar*j[1][1]
+	}
+	adjMu[outs[0]] += aMu
+	adjVar[outs[0]] += aVar
+
+	// Reverse topological sweep through the gates.
+	topo := g.Topo
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		nd := &g.C.Nodes[id]
+		if nd.Kind == netlist.KindInput {
+			continue
+		}
+		am, av := adjMu[id], adjVar[id]
+		if am == 0 && av == 0 {
+			continue
+		}
+		// T = U + t: both summands inherit the adjoint unchanged.
+		// Gate delay: var_t = Sigma.Var(mu_t), so the variance
+		// adjoint folds into the mean-delay adjoint...
+		muT := r.GateDelay[id].Mu
+		dmu := am + av*m.Sigma.DVar(muT)
+		m.GateMuGrad(id, S, dmu, grad)
+
+		// U side: unfold the fanin max in reverse.
+		fanin := nd.Fanin
+		uMu, uVar := am, av
+		steps := r.gateFold[id]
+		for k := len(fanin) - 1; k >= 1; k-- {
+			j := steps[k-1]
+			f := fanin[k]
+			adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
+			adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
+			uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+		}
+		adjMu[fanin[0]] += uMu
+		adjVar[fanin[0]] += uVar
+	}
+	return grad
+}
+
+// ObjectiveMuPlusKSigma returns phi = mu + k*sigma of the circuit
+// delay together with the adjoint seed pair for Backward. At sigma ->
+// 0 with k != 0 the seed saturates using a variance floor to keep the
+// gradient finite.
+func ObjectiveMuPlusKSigma(tmax stats.MV, k float64) (phi, seedMu, seedVar float64) {
+	if k == 0 {
+		return tmax.Mu, 1, 0
+	}
+	v := tmax.Var
+	const floor = 1e-18
+	if v < floor {
+		v = floor
+	}
+	sigma := math.Sqrt(v)
+	return tmax.Mu + k*sigma, 1, k / (2 * sigma)
+}
+
+// GradMuPlusKSigma is a convenience wrapper: one taped sweep plus one
+// backward pass, returning phi and d phi/d S.
+func GradMuPlusKSigma(m *delay.Model, S []float64, k float64) (float64, []float64) {
+	r := Analyze(m, S, true)
+	phi, sMu, sVar := ObjectiveMuPlusKSigma(r.Tmax, k)
+	return phi, r.Backward(m, S, sMu, sVar)
+}
+
+// Criticality returns d muTmax / d mu_t(gate) for every gate: how much
+// the mean circuit delay moves per unit of that gate's mean delay. In
+// deterministic STA this is the 0/1 indicator of critical-path
+// membership; statistically it is a smooth weight in [0, 1] spread
+// over competing paths — the "statistical criticality" used for
+// reporting in cmd/ssta.
+func Criticality(m *delay.Model, S []float64) []float64 {
+	g := m.G
+	r := Analyze(m, S, true)
+	n := len(g.C.Nodes)
+	adjMu := make([]float64, n)
+	adjVar := make([]float64, n)
+	crit := make([]float64, n)
+
+	outs := g.C.Outputs
+	aMu, aVar := 1.0, 0.0
+	for i := len(outs) - 1; i >= 1; i-- {
+		j := r.outFold[i-1]
+		o := outs[i]
+		adjMu[o] += aMu*j[0][2] + aVar*j[1][2]
+		adjVar[o] += aMu*j[0][3] + aVar*j[1][3]
+		aMu, aVar = aMu*j[0][0]+aVar*j[1][0], aMu*j[0][1]+aVar*j[1][1]
+	}
+	adjMu[outs[0]] += aMu
+	adjVar[outs[0]] += aVar
+
+	topo := g.Topo
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		nd := &g.C.Nodes[id]
+		if nd.Kind == netlist.KindInput {
+			continue
+		}
+		am, av := adjMu[id], adjVar[id]
+		muT := r.GateDelay[id].Mu
+		crit[id] = am + av*m.Sigma.DVar(muT)
+		fanin := nd.Fanin
+		uMu, uVar := am, av
+		steps := r.gateFold[id]
+		for k := len(fanin) - 1; k >= 1; k-- {
+			j := steps[k-1]
+			f := fanin[k]
+			adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
+			adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
+			uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+		}
+		adjMu[fanin[0]] += uMu
+		adjVar[fanin[0]] += uVar
+	}
+	return crit
+}

@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The paper's core operator: the analytic moments of the maximum of
+// two Gaussian arrival times (eqs 10, 12, 13).
+func ExampleMax2() {
+	a := stats.MV{Mu: 5.0, Var: 1.0}  // N(5, 1)
+	b := stats.MV{Mu: 5.5, Var: 0.25} // N(5.5, 0.5^2)
+	c := stats.Max2(a, b)
+	fmt.Printf("mu = %.4f, sigma = %.4f\n", c.Mu, c.Sigma())
+	// Output:
+	// mu = 5.7399, sigma = 0.5639
+}
+
+// The Jacobian feeds the gate-sizing optimizer's gradients.
+func ExampleMax2Jac() {
+	a := stats.MV{Mu: 5.0, Var: 1.0}
+	b := stats.MV{Mu: 5.5, Var: 0.25}
+	_, jac := stats.Max2Jac(a, b)
+	// d muC / d muA is the "tightness": the probability that A wins.
+	fmt.Printf("P(A is the max) = %.4f\n", jac[0][0])
+	// Output:
+	// P(A is the max) = 0.3274
+}
+
+// ExactMaxN is the quadrature reference for the paper's second
+// future-work item: multi-operand maxima without repeated folding.
+func ExampleExactMaxN() {
+	ms := []stats.MV{{Mu: 0, Var: 1}, {Mu: 0, Var: 1}, {Mu: 0, Var: 1}}
+	fold := stats.MaxN(ms)
+	exact := stats.ExactMaxN(ms)
+	fmt.Printf("fold mu = %.4f, exact mu = %.4f\n", fold.Mu, exact.Mu)
+	// Output:
+	// fold mu = 0.8476, exact mu = 0.8463
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/ad"
+)
+
+// This file provides the stochastic max in the (mean, standard
+// deviation) parameterization used by the paper's full-space sizing
+// formulation (eq 17 passes mu/sigma pairs to max_mu and max_sigma).
+// The moments are the same Clark formulas as Max2; only the
+// parameterization of the inputs and of the second output changes.
+
+// sigmaCFloor keeps the sigma-output derivatives finite when the max
+// collapses to a deterministic value.
+const sigmaCFloor = 1e-12
+
+// Max2Sigma returns the mean and standard deviation of max(A, B) for
+// operands given as (mu, sigma) pairs.
+func Max2Sigma(muA, sigmaA, muB, sigmaB float64) (muC, sigmaC float64) {
+	c := Max2(MV{muA, sigmaA * sigmaA}, MV{muB, sigmaB * sigmaB})
+	return c.Mu, math.Sqrt(c.Var)
+}
+
+// Max2SigmaJac returns the max moments in (mu, sigma) form together
+// with the 2x4 Jacobian with respect to (muA, sigmaA, muB, sigmaB).
+// It chains the variance-form Jacobian of Max2Jac:
+//
+//	d sigmaC/dx = (d varC/dx) / (2 sigmaC)
+//	d /d sigmaA = (d/d varA) * 2 sigmaA
+func Max2SigmaJac(muA, sigmaA, muB, sigmaB float64) (muC, sigmaC float64, jac Jac2x4) {
+	c, jv := Max2Jac(MV{muA, sigmaA * sigmaA}, MV{muB, sigmaB * sigmaB})
+	muC = c.Mu
+	sigmaC = math.Sqrt(c.Var)
+	den := 2 * math.Max(sigmaC, sigmaCFloor)
+
+	// Row 0: d muC. Columns 1 and 3 convert var -> sigma inputs.
+	jac[0][0] = jv[0][0]
+	jac[0][1] = jv[0][1] * 2 * sigmaA
+	jac[0][2] = jv[0][2]
+	jac[0][3] = jv[0][3] * 2 * sigmaB
+	// Row 1: d sigmaC.
+	jac[1][0] = jv[1][0] / den
+	jac[1][1] = jv[1][1] * 2 * sigmaA / den
+	jac[1][2] = jv[1][2] / den
+	jac[1][3] = jv[1][3] * 2 * sigmaB / den
+	return muC, sigmaC, jac
+}
+
+// max2SigmaHD evaluates the sigma-parameterized max on hyper-dual
+// inputs ordered (muA, sigmaA, muB, sigmaB); sel 0 returns muC, 1
+// returns sigmaC.
+func max2SigmaHD(x []ad.HyperDual, sel int) ad.HyperDual {
+	q := []ad.HyperDual{x[0], x[1].Sqr(), x[2], x[3].Sqr()}
+	if sel == 0 {
+		return max2HD(q, 0)
+	}
+	return max2HD(q, 1).Sqrt()
+}
+
+// Max2SigmaHessians returns the exact 4x4 Hessians of muC and sigmaC
+// with respect to (muA, sigmaA, muB, sigmaB), computed with hyper-dual
+// AD. The point must be non-degenerate (sigmaA^2 + sigmaB^2 above the
+// internal floor).
+func Max2SigmaHessians(muA, sigmaA, muB, sigmaB float64) (hMu, hSigma [4][4]float64) {
+	x := []float64{muA, sigmaA, muB, sigmaB}
+	_, _, hm := ad.Hessian(func(v []ad.HyperDual) ad.HyperDual { return max2SigmaHD(v, 0) }, x)
+	_, _, hs := ad.Hessian(func(v []ad.HyperDual) ad.HyperDual { return max2SigmaHD(v, 1) }, x)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			hMu[i][j] = hm[i][j]
+			hSigma[i][j] = hs[i][j]
+		}
+	}
+	return hMu, hSigma
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMax2SigmaMatchesMax2(t *testing.T) {
+	for _, c := range jacCases {
+		mu, sigma := Max2Sigma(c[0].Mu, c[0].Sigma(), c[1].Mu, c[1].Sigma())
+		want := Max2(c[0], c[1])
+		if !close(mu, want.Mu, 1e-13) || !close(sigma, want.Sigma(), 1e-13) {
+			t.Errorf("case %+v: (%v, %v) want (%v, %v)",
+				c, mu, sigma, want.Mu, want.Sigma())
+		}
+	}
+}
+
+func TestMax2SigmaJacAgainstFD(t *testing.T) {
+	for _, c := range jacCases {
+		if Degenerate(c[0], c[1]) || c[0].Var < 1e-4 || c[1].Var < 1e-4 {
+			continue
+		}
+		x := []float64{c[0].Mu, c[0].Sigma(), c[1].Mu, c[1].Sigma()}
+		_, _, jac := Max2SigmaJac(x[0], x[1], x[2], x[3])
+		eval := func(x []float64) (float64, float64) {
+			return Max2Sigma(x[0], x[1], x[2], x[3])
+		}
+		for k := 0; k < 4; k++ {
+			h := 1e-6 * math.Max(1, math.Abs(x[k]))
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[k] += h
+			xm[k] -= h
+			mp, sp := eval(xp)
+			mm, sm := eval(xm)
+			if fd := (mp - mm) / (2 * h); !close(jac[0][k], fd, 2e-5) {
+				t.Errorf("case %+v dmu[%d]: %v, FD %v", c, k, jac[0][k], fd)
+			}
+			if fd := (sp - sm) / (2 * h); !close(jac[1][k], fd, 2e-5) {
+				t.Errorf("case %+v dsigma[%d]: %v, FD %v", c, k, jac[1][k], fd)
+			}
+		}
+	}
+}
+
+func TestMax2SigmaHessiansAgainstFD(t *testing.T) {
+	x := []float64{2, 1.1, 2.4, 0.9}
+	hMu, hSigma := Max2SigmaHessians(x[0], x[1], x[2], x[3])
+	grad := func(x []float64) Jac2x4 {
+		_, _, j := Max2SigmaJac(x[0], x[1], x[2], x[3])
+		return j
+	}
+	for k := 0; k < 4; k++ {
+		h := 1e-6
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[k] += h
+		xm[k] -= h
+		jp, jm := grad(xp), grad(xm)
+		for l := 0; l < 4; l++ {
+			if fd := (jp[0][l] - jm[0][l]) / (2 * h); !close(hMu[k][l], fd, 1e-4) {
+				t.Errorf("hMu[%d][%d] = %v, FD %v", k, l, hMu[k][l], fd)
+			}
+			if fd := (jp[1][l] - jm[1][l]) / (2 * h); !close(hSigma[k][l], fd, 1e-4) {
+				t.Errorf("hSigma[%d][%d] = %v, FD %v", k, l, hSigma[k][l], fd)
+			}
+		}
+	}
+}
+
+func TestMax2SigmaDegenerateStaysFinite(t *testing.T) {
+	// A deterministic winner must not produce NaN or Inf derivatives.
+	mu, sigma, jac := Max2SigmaJac(5, 0, 3, 0)
+	if mu != 5 || sigma != 0 {
+		t.Errorf("degenerate value: %v %v", mu, sigma)
+	}
+	for r := 0; r < 2; r++ {
+		for k := 0; k < 4; k++ {
+			if math.IsNaN(jac[r][k]) || math.IsInf(jac[r][k], 0) {
+				t.Errorf("jac[%d][%d] = %v", r, k, jac[r][k])
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import "math/rand"
+
+// SampleMax2 estimates the moments of max(A, B) by direct sampling.
+// It is the approach the paper's precursors ([1], [2]) used to obtain
+// the max moments and serves here as an independent cross-check of the
+// analytical operator. The returned moments carry Monte Carlo noise of
+// order 1/sqrt(n).
+func SampleMax2(a, b MV, n int, rng *rand.Rand) MV {
+	an := a.Normal()
+	bn := b.Normal()
+	var m, m2 float64
+	for i := 0; i < n; i++ {
+		x := an.Mu + an.Sigma*rng.NormFloat64()
+		y := bn.Mu + bn.Sigma*rng.NormFloat64()
+		if y > x {
+			x = y
+		}
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	return MV{Mu: m, Var: m2 / float64(n)}
+}
+
+// MaxDensity returns the exact probability density of max(A, B) at x
+// for independent normals (the paper's eq 9):
+//
+//	f_C(x) = f_A(x) F_B(x) + F_A(x) f_B(x)
+//
+// The paper observes this density is close to, but not exactly, a
+// normal density; NormalApproxError quantifies the gap.
+func MaxDensity(a, b MV, x float64) float64 {
+	an := a.Normal()
+	bn := b.Normal()
+	return an.PDF(x)*bn.CDF(x) + an.CDF(x)*bn.PDF(x)
+}
+
+// MaxCDF returns the exact distribution function of max(A, B) at x
+// (the paper's eq 6): F_C(x) = F_A(x) F_B(x).
+func MaxCDF(a, b MV, x float64) float64 {
+	return a.Normal().CDF(x) * b.Normal().CDF(x)
+}
+
+// NormalApproxError returns the maximum absolute difference between
+// the exact CDF of max(A, B) and the CDF of the moment-matched normal
+// returned by Max2, scanned over mu +- span*sigma of the result with
+// the given number of grid points. This is the quantitative form of
+// the paper's claim that the max of two normals "approximates the
+// normal distribution close enough".
+func NormalApproxError(a, b MV, span float64, points int) float64 {
+	c := Max2(a, b)
+	cn := c.Normal()
+	if cn.Sigma == 0 {
+		return 0
+	}
+	lo := c.Mu - span*cn.Sigma
+	hi := c.Mu + span*cn.Sigma
+	var worst float64
+	for i := 0; i < points; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(points-1)
+		d := MaxCDF(a, b, x) - cn.CDF(x)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
