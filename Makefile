@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel SSTA and Monte Carlo engines are concurrency-bearing;
+# every change must stay clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# check is the CI gate: vet + build + tests + race-checked tests.
+check: vet build test race

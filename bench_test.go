@@ -23,7 +23,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -150,6 +152,101 @@ func BenchmarkSSTAGradientK2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		phi, grad := ssta.GradMuPlusKSigma(m, S, 3)
 		sinkF = phi + grad[len(grad)-1]
+	}
+}
+
+// --- Parallel engine --------------------------------------------------
+
+// genBenchModel builds a generated circuit of the given size for the
+// serial-vs-parallel comparisons (the built-ins top out near 1000
+// cells; the acceptance target is a >= 1000-gate netlist).
+func genBenchModel(b *testing.B, gates int) *delay.Model {
+	b.Helper()
+	c, err := netlist.Generate(netlist.GenSpec{
+		Name: "bench", Gates: gates, Inputs: 64, Outputs: 16,
+		Depth: 24, MaxFanin: 4, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sstaModel(b, func() *netlist.Circuit { return c })
+}
+
+var benchWorkerCounts = func() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range []int{1, 2, 4, runtime.NumCPU()} {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}()
+
+// BenchmarkParallelSSTASweep compares the serial forward sweep with
+// the levelized parallel sweep at several worker counts on the k2
+// stand-in and a 2000-gate generated circuit.
+func BenchmarkParallelSSTASweep(b *testing.B) {
+	models := map[string]*delay.Model{
+		"k2":      sstaModel(b, netlist.K2Like),
+		"gen2000": genBenchModel(b, 2000),
+	}
+	for name, m := range models {
+		S := m.UnitSizes()
+		b.Run(name+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF = ssta.Analyze(m, S, false).Tmax.Mu
+			}
+		})
+		for _, w := range benchWorkerCounts {
+			b.Run(fmt.Sprintf("%s/j%d", name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkF = ssta.AnalyzeWorkers(m, S, false, w).Tmax.Mu
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelGradient compares serial and parallel taped sweep
+// plus adjoint — the sizing inner-loop cost.
+func BenchmarkParallelGradient(b *testing.B) {
+	m := genBenchModel(b, 2000)
+	S := m.UnitSizes()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			phi, grad := ssta.GradMuPlusKSigma(m, S, 3)
+			sinkF = phi + grad[len(grad)-1]
+		}
+	})
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("j%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				phi, grad := ssta.GradMuPlusKSigmaWorkers(m, S, 3, w)
+				sinkF = phi + grad[len(grad)-1]
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMonteCarlo compares sharded Monte Carlo at several
+// worker counts; every worker count draws the identical sample set.
+func BenchmarkParallelMonteCarlo(b *testing.B) {
+	m := genBenchModel(b, 1000)
+	S := m.UnitSizes()
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("j%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := montecarlo.Run(m, S, montecarlo.Options{
+					Samples: 20000, Seed: 1, Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkF = r.Mu
+			}
+		})
 	}
 }
 

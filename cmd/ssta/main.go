@@ -31,6 +31,7 @@ func main() {
 		critN       = flag.Int("crit", 0, "print the N most critical gates (0 = off)")
 		seed        = flag.Int64("seed", 1, "Monte Carlo seed")
 		canonical   = flag.Bool("canonical", false, "also run the correlation-aware canonical sweep")
+		workers     = flag.Int("j", 0, "worker goroutines for the SSTA sweep and Monte Carlo (0 = all CPUs, 1 = serial; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		circ.Name, stats.Gates, stats.Inputs, stats.Outputs, stats.Depth)
 
 	det := ssta.DetAnalyze(m, S)
-	r := ssta.Analyze(m, S, false)
+	r := ssta.AnalyzeWorkers(m, S, false, *workers)
 	fmt.Printf("deterministic Tmax: %.4f\n", det.Tmax)
 	fmt.Printf("statistical Tmax:   mu = %.4f  sigma = %.4f\n", r.Tmax.Mu, r.Tmax.Sigma())
 	if *canonical {
@@ -97,7 +98,7 @@ func main() {
 
 	if *mcSamples > 0 {
 		cmp, err := montecarlo.CompareAnalytic(m, S, r.Tmax, montecarlo.Options{
-			Samples: *mcSamples, Seed: *seed, KeepSamples: true,
+			Samples: *mcSamples, Seed: *seed, KeepSamples: true, Workers: *workers,
 		})
 		if err != nil {
 			fatal(err)

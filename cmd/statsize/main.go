@@ -40,6 +40,7 @@ func main() {
 		limit         = flag.Float64("limit", 3, "maximum speed factor")
 		showSizes     = flag.Bool("sizes", false, "print per-gate speed factors")
 		verbose       = flag.Bool("v", false, "log solver progress")
+		workers       = flag.Int("j", 0, "worker goroutines for the SSTA sweeps in the solver loop (0 = all CPUs, 1 = serial; results are identical for any value)")
 	)
 	flag.Var(&constraints, "constraint", `timing constraint, repeatable: "mu<=120", "mu+3sigma<=120", "mu=6.5"`)
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 	m.Limit = *limit
 	m.Sigma = delay.Proportional{K: *sigmaK}
 
-	spec := sizing.Spec{}
+	spec := sizing.Spec{Workers: *workers}
 	spec.Objective, err = parseObjective(*objectiveFlag)
 	if err != nil {
 		fatal(err)
@@ -93,7 +94,7 @@ func main() {
 		}
 	}
 
-	unit := ssta.Analyze(m, m.UnitSizes(), false).Tmax
+	unit := ssta.AnalyzeWorkers(m, m.UnitSizes(), false, *workers).Tmax
 	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n",
 		circ.Name, circ.NumGates(), circ.NumInputs(), len(circ.Outputs))
 	fmt.Printf("unsized:   mu = %.4f  sigma = %.4f  sum(Si) = %d\n",

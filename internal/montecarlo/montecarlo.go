@@ -14,7 +14,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/delay"
 	"repro/internal/dist"
@@ -28,30 +31,62 @@ type Options struct {
 	Samples int
 	// Seed seeds the generator; equal options reproduce runs exactly.
 	Seed int64
-	// TruncateAtZero redraws negative gate-delay samples at zero,
+	// TruncateAtZero clamps negative gate-delay samples to zero,
 	// acknowledging that physical delays are non-negative even though
 	// the Gaussian model has a left tail.
 	TruncateAtZero bool
 	// KeepSamples retains the per-sample circuit delays (sorted) in
 	// the result for quantile and KS computations.
 	KeepSamples bool
+	// Workers sets how many goroutines draw samples: <= 0 uses one
+	// per CPU. The sample loop is sharded into fixed-size blocks with
+	// substream generators derived from Seed, so the result is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // Result summarizes a Monte Carlo timing run.
 type Result struct {
-	// Mu and Sigma are the sample moments of the circuit delay.
+	// Mu and Sigma are the sample moments of the circuit delay; Sigma
+	// uses the unbiased sample (Bessel, N-1) divisor and is 0 for a
+	// single sample.
 	Mu, Sigma float64
 	// Samples holds the sorted circuit delays if requested.
 	Samples []float64
 }
 
+// shardSamples is the fixed number of samples per shard. The shard
+// grid depends only on Options.Samples — never on the worker count —
+// so every worker count draws the identical sample set.
+const shardSamples = 4096
+
+// shardSeed derives shard i's substream seed from the run seed with a
+// splitmix64-style finalizer, giving well-separated streams for
+// adjacent shard indices.
+func shardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// shardMoments holds one shard's Welford accumulators.
+type shardMoments struct {
+	n        int
+	mean, m2 float64
+	keep     []float64
+}
+
 // Run samples the circuit delay distribution of model m under speed
-// factors S.
+// factors S. The sample loop is sharded: each fixed-size block of
+// samples is drawn from its own substream generator and the per-shard
+// Welford moments are merged with Chan's pairwise combination in shard
+// order, so the result depends only on (Samples, Seed), not on
+// Options.Workers.
 func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 	if opt.Samples < 1 {
 		return nil, fmt.Errorf("montecarlo: need at least 1 sample, got %d", opt.Samples)
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
 	g := m.G
 	n := len(g.C.Nodes)
 
@@ -65,47 +100,117 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 		gateSigma[id] = mv.Sigma()
 	}
 
-	arr := make([]float64, n)
-	var keep []float64
-	if opt.KeepSamples {
-		keep = make([]float64, 0, opt.Samples)
-	}
-	var mean, m2 float64
-	for s := 0; s < opt.Samples; s++ {
-		for _, id := range g.Topo {
-			nd := &g.C.Nodes[id]
-			if nd.Kind == netlist.KindInput {
-				a := m.Arrival[id]
-				arr[id] = a.Mu + a.Sigma()*rng.NormFloat64()
-				continue
+	nShards := (opt.Samples + shardSamples - 1) / shardSamples
+	shards := make([]shardMoments, nShards)
+	// runShard draws shard i's block of samples into shards[i] using
+	// the caller's scratch arrival array.
+	runShard := func(arr []float64, i int) {
+		rng := rand.New(rand.NewSource(shardSeed(opt.Seed, i)))
+		count := min(shardSamples, opt.Samples-i*shardSamples)
+		sm := &shards[i]
+		sm.n = count
+		if opt.KeepSamples {
+			sm.keep = make([]float64, 0, count)
+		}
+		for s := 0; s < count; s++ {
+			for _, id := range g.Topo {
+				nd := &g.C.Nodes[id]
+				if nd.Kind == netlist.KindInput {
+					a := m.Arrival[id]
+					arr[id] = a.Mu + a.Sigma()*rng.NormFloat64()
+					continue
+				}
+				u := arr[nd.Fanin[0]] + m.PinOff(id, 0)
+				for k, f := range nd.Fanin[1:] {
+					if a := arr[f] + m.PinOff(id, k+1); a > u {
+						u = a
+					}
+				}
+				d := gateMu[id] + gateSigma[id]*rng.NormFloat64()
+				if opt.TruncateAtZero && d < 0 {
+					d = 0
+				}
+				arr[id] = u + d
 			}
-			u := arr[nd.Fanin[0]] + m.PinOff(id, 0)
-			for k, f := range nd.Fanin[1:] {
-				if a := arr[f] + m.PinOff(id, k+1); a > u {
-					u = a
+			tmax := arr[g.C.Outputs[0]]
+			for _, o := range g.C.Outputs[1:] {
+				if a := arr[o]; a > tmax {
+					tmax = a
 				}
 			}
-			d := gateMu[id] + gateSigma[id]*rng.NormFloat64()
-			if opt.TruncateAtZero && d < 0 {
-				d = 0
+			d := tmax - sm.mean
+			sm.mean += d / float64(s+1)
+			sm.m2 += d * (tmax - sm.mean)
+			if opt.KeepSamples {
+				sm.keep = append(sm.keep, tmax)
 			}
-			arr[id] = u + d
-		}
-		tmax := arr[g.C.Outputs[0]]
-		for _, o := range g.C.Outputs[1:] {
-			if a := arr[o]; a > tmax {
-				tmax = a
-			}
-		}
-		d := tmax - mean
-		mean += d / float64(s+1)
-		m2 += d * (tmax - mean)
-		if opt.KeepSamples {
-			keep = append(keep, tmax)
 		}
 	}
-	r := &Result{Mu: mean, Sigma: sqrt(m2 / float64(opt.Samples))}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nShards {
+		workers = nShards
+	}
+	if workers == 1 {
+		arr := make([]float64, n)
+		for i := range shards {
+			runShard(arr, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				arr := make([]float64, n)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= nShards {
+						return
+					}
+					runShard(arr, i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge the per-shard moments with Chan's pairwise combination,
+	// folding in fixed shard order so the merge itself is
+	// deterministic.
+	var (
+		tot      int
+		mean, m2 float64
+	)
+	for i := range shards {
+		sm := &shards[i]
+		if tot == 0 {
+			tot, mean, m2 = sm.n, sm.mean, sm.m2
+			continue
+		}
+		na, nb := float64(tot), float64(sm.n)
+		delta := sm.mean - mean
+		tot += sm.n
+		nt := float64(tot)
+		mean += delta * nb / nt
+		m2 += sm.m2 + delta*delta*na*nb/nt
+	}
+	sigma := 0.0
+	if tot > 1 {
+		// Sample (Bessel) divisor: unbiased variance estimate for
+		// small-sample comparison against the analytic sigma.
+		sigma = sqrt(m2 / float64(tot-1))
+	}
+	r := &Result{Mu: mean, Sigma: sigma}
 	if opt.KeepSamples {
+		keep := make([]float64, 0, opt.Samples)
+		for i := range shards {
+			keep = append(keep, shards[i].keep...)
+		}
 		sort.Float64s(keep)
 		r.Samples = keep
 	}
@@ -128,18 +233,24 @@ func (r *Result) Yield(deadline float64) float64 {
 	return float64(i) / float64(len(r.Samples))
 }
 
-// Quantile returns the empirical p-quantile of the sampled delays.
+// Quantile returns the empirical p-quantile of the sampled delays
+// using the nearest-rank convention: the smallest sample x such that
+// at least ceil(p*n) of the n samples are <= x, i.e.
+// Samples[ceil(p*n)-1]. This makes Quantile the inverse of Yield at
+// the boundaries: Yield(Quantile(p)) >= p for every p in (0, 1].
+// p <= 0 returns the minimum sample, p >= 1 the maximum.
 func (r *Result) Quantile(p float64) float64 {
 	if r.Samples == nil {
 		panic("montecarlo: Quantile requires KeepSamples")
 	}
-	if p <= 0 {
-		return r.Samples[0]
+	n := len(r.Samples)
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
 	}
-	if p >= 1 {
-		return r.Samples[len(r.Samples)-1]
+	if i >= n {
+		i = n - 1
 	}
-	i := int(p * float64(len(r.Samples)))
 	return r.Samples[i]
 }
 

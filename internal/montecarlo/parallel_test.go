@@ -1,0 +1,135 @@
+package montecarlo
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+)
+
+func TestRunBitIdenticalForAnyWorkerCount(t *testing.T) {
+	// The shard grid depends only on (Samples, Seed), so every worker
+	// count must reproduce the same moments and the same sorted sample
+	// set bit for bit. 3*shardSamples+7 samples spans four shards, one
+	// of them partial.
+	gen, err := netlist.Generate(netlist.GenSpec{
+		Name: "mcgen", Gates: 400, Inputs: 24, Outputs: 8,
+		Depth: 12, MaxFanin: 4, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*netlist.Circuit{netlist.Tree7(), netlist.Apex2Like(), gen} {
+		m := delay.MustBind(netlist.MustCompile(c), delay.Default())
+		S := m.UnitSizes()
+		opt := Options{Samples: 3*shardSamples + 7, Seed: 42, KeepSamples: true}
+		opt.Workers = 1
+		want, err := Run(m, S, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8, runtime.NumCPU()} {
+			opt.Workers = w
+			got, err := Run(m, S, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Mu != want.Mu || got.Sigma != want.Sigma {
+				t.Errorf("%s workers=%d: (mu, sigma) = (%v, %v) != serial (%v, %v)",
+					c.Name, w, got.Mu, got.Sigma, want.Mu, want.Sigma)
+			}
+			if len(got.Samples) != len(want.Samples) {
+				t.Fatalf("%s workers=%d: %d samples != %d", c.Name, w, len(got.Samples), len(want.Samples))
+			}
+			for i := range want.Samples {
+				if got.Samples[i] != want.Samples[i] {
+					t.Fatalf("%s workers=%d: sample %d differs", c.Name, w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSigmaUsesBesselDivisor(t *testing.T) {
+	m := model(t, netlist.Chain(2))
+	S := m.UnitSizes()
+	r, err := Run(m, S, Options{Samples: 5, Seed: 4, KeepSamples: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, x := range r.Samples {
+		mean += x
+	}
+	mean /= float64(len(r.Samples))
+	var ss float64
+	for _, x := range r.Samples {
+		ss += (x - mean) * (x - mean)
+	}
+	want := math.Sqrt(ss / float64(len(r.Samples)-1))
+	if !close(r.Sigma, want, 1e-12) {
+		t.Errorf("Sigma = %v, want sample (N-1) estimate %v", r.Sigma, want)
+	}
+}
+
+func TestSigmaSingleSampleIsZero(t *testing.T) {
+	m := model(t, netlist.Chain(2))
+	r, err := Run(m, m.UnitSizes(), Options{Samples: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sigma != 0 {
+		t.Errorf("Sigma for a single sample = %v, want 0", r.Sigma)
+	}
+	if math.IsNaN(r.Mu) || math.IsInf(r.Mu, 0) {
+		t.Errorf("Mu for a single sample = %v", r.Mu)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	// Table-driven check of the documented nearest-rank convention
+	// Samples[ceil(p*n)-1] on a small hand-built sample set.
+	r := &Result{Samples: []float64{10, 20, 30, 40}}
+	cases := []struct {
+		p, want float64
+	}{
+		{-0.5, 10},
+		{0, 10},
+		{0.1, 10},   // ceil(0.4) = 1
+		{0.25, 10},  // ceil(1.0) = 1
+		{0.26, 20},  // ceil(1.04) = 2
+		{0.5, 20},  // ceil(2.0) = 2
+		{0.51, 30}, // ceil(2.04) = 3
+		{0.75, 30},
+		{0.76, 40},
+		{1, 40},
+		{1.5, 40},
+	}
+	for _, c := range cases {
+		if got := r.Quantile(c.p); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileConsistentWithYield(t *testing.T) {
+	// Nearest-rank makes Quantile a right inverse of Yield:
+	// Yield(Quantile(p)) >= p for every p in (0, 1].
+	m := model(t, netlist.Tree7())
+	r, err := Run(m, m.UnitSizes(), Options{Samples: 1000, Seed: 8, KeepSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.001, 0.01, 0.25, 0.5, 0.75, 0.9, 0.999, 1} {
+		if y := r.Yield(r.Quantile(p)); y < p {
+			t.Errorf("Yield(Quantile(%v)) = %v < p", p, y)
+		}
+	}
+	// And the other boundary: no quantile sits below the minimum or
+	// above the maximum sample.
+	if r.Quantile(0.0001) < r.Samples[0] || r.Quantile(0.9999) > r.Samples[len(r.Samples)-1] {
+		t.Error("quantile escaped the sample range")
+	}
+}

@@ -1,0 +1,55 @@
+package netlist
+
+import "testing"
+
+// TestLevelsBuckets validates the per-level buckets the parallel SSTA
+// sweep relies on: every node appears in exactly the bucket of its
+// level, buckets preserve topological order, every fanin edge crosses
+// strictly upward in level, and level 0 is exactly the inputs.
+func TestLevelsBuckets(t *testing.T) {
+	circuits := []*Circuit{Tree7(), Fig2Example(), Apex1Like(), K2Like(), Chain(5)}
+	gen, err := Generate(GenSpec{
+		Name: "lvl", Gates: 300, Inputs: 24, Outputs: 6,
+		Depth: 12, MaxFanin: 4, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits = append(circuits, gen)
+
+	for _, c := range circuits {
+		g := MustCompile(c)
+		pos := make(map[NodeID]int, len(g.Topo))
+		for i, id := range g.Topo {
+			pos[id] = i
+		}
+		seen := 0
+		for l, bucket := range g.Levels {
+			prev := -1
+			for _, id := range bucket {
+				seen++
+				if g.Level[id] != l {
+					t.Fatalf("%s: node %d in bucket %d has level %d", c.Name, id, l, g.Level[id])
+				}
+				if pos[id] <= prev {
+					t.Fatalf("%s: bucket %d not in topological order", c.Name, l)
+				}
+				prev = pos[id]
+				for _, f := range c.Nodes[id].Fanin {
+					if g.Level[f] >= l {
+						t.Fatalf("%s: fanin %d (level %d) not below node %d (level %d)",
+							c.Name, f, g.Level[f], id, l)
+					}
+				}
+			}
+		}
+		if seen != len(c.Nodes) {
+			t.Fatalf("%s: buckets hold %d of %d nodes", c.Name, seen, len(c.Nodes))
+		}
+		for _, id := range g.Levels[0] {
+			if c.Nodes[id].Kind != KindInput {
+				t.Fatalf("%s: non-input node %d at level 0", c.Name, id)
+			}
+		}
+	}
+}

@@ -24,6 +24,14 @@ type Graph struct {
 	// Level[id] is the length in gates of the longest path from any
 	// primary input to the node (inputs are level 0).
 	Level []int
+
+	// Levels buckets the node ids by Level, preserving topological
+	// order inside each bucket: Levels[l] lists every node with
+	// Level[id] == l. Because the level strictly increases along every
+	// fanin edge, all nodes in one bucket are mutually independent —
+	// the parallel SSTA sweep processes one bucket at a time behind a
+	// level barrier. Levels[0] holds exactly the primary inputs.
+	Levels [][]NodeID
 }
 
 // ErrCycle is returned when the fanin relation is cyclic.
@@ -84,6 +92,7 @@ func Compile(c *Circuit) (*Graph, error) {
 			g.Fanout[f] = append(g.Fanout[f], NodeID(i))
 		}
 	}
+	maxLvl := 0
 	for _, id := range topo {
 		lvl := 0
 		for _, f := range c.Nodes[id].Fanin {
@@ -95,6 +104,13 @@ func Compile(c *Circuit) (*Graph, error) {
 			lvl = 0
 		}
 		g.Level[id] = lvl
+		if lvl > maxLvl {
+			maxLvl = lvl
+		}
+	}
+	g.Levels = make([][]NodeID, maxLvl+1)
+	for _, id := range topo {
+		g.Levels[g.Level[id]] = append(g.Levels[g.Level[id]], id)
 	}
 	return g, nil
 }

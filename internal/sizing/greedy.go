@@ -25,6 +25,9 @@ type GreedyOptions struct {
 	Step float64
 	// MaxSteps bounds the iterations (default 200 * gate count).
 	MaxSteps int
+	// Workers bounds the parallelism of the SSTA sweeps: <= 0 uses
+	// one worker per CPU, 1 forces the serial sweep.
+	Workers int
 }
 
 // GreedyResult reports the heuristic sizing.
@@ -57,7 +60,7 @@ func SizeGreedy(m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
 	S := m.UnitSizes()
 	res := &GreedyResult{}
 	for ; res.Steps < opt.MaxSteps; res.Steps++ {
-		phi, grad := ssta.GradMuPlusKSigma(m, S, opt.K)
+		phi, grad := ssta.GradMuPlusKSigmaWorkers(m, S, opt.K, opt.Workers)
 		if phi <= opt.Deadline {
 			res.Met = true
 			break
@@ -87,7 +90,7 @@ func SizeGreedy(m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
 		}
 	}
 	m.ClampSizes(S)
-	r := ssta.Analyze(m, S, false)
+	r := ssta.AnalyzeWorkers(m, S, false, opt.Workers)
 	res.S = S
 	res.MuTmax = r.Tmax.Mu
 	res.SigmaTmax = r.Tmax.Sigma()

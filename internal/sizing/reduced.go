@@ -15,9 +15,10 @@ import (
 // in dense order; the scratch full-length S vector is shared across
 // closures, which is safe because the NLP solver is single-threaded.
 type reducedEval struct {
-	m     *delay.Model
-	gates []netlist.NodeID
-	S     []float64
+	m       *delay.Model
+	gates   []netlist.NodeID
+	S       []float64
+	workers int
 }
 
 func (re *reducedEval) setS(x []float64) {
@@ -29,7 +30,7 @@ func (re *reducedEval) setS(x []float64) {
 // moments runs the forward sweep at the dense point x.
 func (re *reducedEval) moments(x []float64) (mu, variance float64) {
 	re.setS(x)
-	r := ssta.Analyze(re.m, re.S, false)
+	r := ssta.AnalyzeWorkers(re.m, re.S, false, re.workers)
 	return r.Tmax.Mu, r.Tmax.Var
 }
 
@@ -37,8 +38,8 @@ func (re *reducedEval) moments(x []float64) (mu, variance float64) {
 // scattering the result into the dense gradient g.
 func (re *reducedEval) gradMoments(x, g []float64, seedMu, seedVar float64) {
 	re.setS(x)
-	r := ssta.Analyze(re.m, re.S, true)
-	full := r.Backward(re.m, re.S, seedMu, seedVar)
+	r := ssta.AnalyzeWorkers(re.m, re.S, true, re.workers)
+	full := r.BackwardWorkers(re.m, re.S, seedMu, seedVar, re.workers)
 	for i, id := range re.gates {
 		g[i] = full[id]
 	}
@@ -96,7 +97,7 @@ func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	if n == 0 {
 		return nil, nil, fmt.Errorf("sizing: circuit has no gates")
 	}
-	re := &reducedEval{m: m, gates: gates, S: m.UnitSizes()}
+	re := &reducedEval{m: m, gates: gates, S: m.UnitSizes(), workers: spec.Workers}
 
 	vars := make([]int, n)
 	lower := make([]float64, n)

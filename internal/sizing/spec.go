@@ -218,6 +218,10 @@ type Spec struct {
 	// Weights holds per-gate objective weights (indexed by NodeID)
 	// for ObjWeightedArea; see internal/power for power weights.
 	Weights []float64
+	// Workers bounds the parallelism of the SSTA sweeps inside the
+	// solver loop: <= 0 uses one worker per CPU, 1 forces the serial
+	// sweep. Results are bit-identical for every worker count.
+	Workers int
 }
 
 // Outcome reports a sizing run in the units of the paper's tables.
@@ -271,7 +275,7 @@ func Size(m *delay.Model, spec Spec) (*Outcome, error) {
 		return nil, err
 	}
 	m.ClampSizes(S)
-	r := ssta.Analyze(m, S, false)
+	r := ssta.AnalyzeWorkers(m, S, false, spec.Workers)
 	return &Outcome{
 		S:         S,
 		MuTmax:    r.Tmax.Mu,

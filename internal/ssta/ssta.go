@@ -47,51 +47,43 @@ type Result struct {
 	outFold []stats.Jac2x4
 }
 
-// Analyze runs the forward statistical sweep for the model under the
-// speed-factor assignment S (indexed by NodeID). When withTape is set,
-// the per-max Jacobians are recorded so Backward can run.
-func Analyze(m *delay.Model, S []float64, withTape bool) *Result {
-	g := m.G
-	n := len(g.C.Nodes)
-	r := &Result{
-		Arrival:   make([]stats.MV, n),
-		GateDelay: make([]stats.MV, n),
-		withTape:  withTape,
+// forwardNode computes node id's arrival (and, for gates, the gate
+// delay and fold tape) from its fanins' already-final arrivals. Each
+// call writes only slots owned by id, so independent nodes — all
+// nodes of one level — may run concurrently.
+func forwardNode(r *Result, m *delay.Model, S []float64, id netlist.NodeID, withTape bool) {
+	nd := &m.G.C.Nodes[id]
+	if nd.Kind == netlist.KindInput {
+		r.Arrival[id] = m.Arrival[id]
+		return
 	}
-	if withTape {
-		r.gateFold = make([][]stats.Jac2x4, n)
-	}
-	for _, id := range g.Topo {
-		nd := &g.C.Nodes[id]
-		if nd.Kind == netlist.KindInput {
-			r.Arrival[id] = m.Arrival[id]
-			continue
+	// U = max over fanin arrivals, folded two at a time
+	// (paper eq 18b); each operand is shifted by its pin's
+	// additive delay (eq 1's per-pin t_i). Constant shifts leave
+	// the max Jacobians valid as-is, so the tape is unchanged.
+	u := shiftMV(r.Arrival[nd.Fanin[0]], m.PinOff(id, 0))
+	if withTape && len(nd.Fanin) > 1 {
+		steps := make([]stats.Jac2x4, 0, len(nd.Fanin)-1)
+		for k, f := range nd.Fanin[1:] {
+			var jac stats.Jac2x4
+			u, jac = stats.Max2Jac(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
+			steps = append(steps, jac)
 		}
-		// U = max over fanin arrivals, folded two at a time
-		// (paper eq 18b); each operand is shifted by its pin's
-		// additive delay (eq 1's per-pin t_i). Constant shifts leave
-		// the max Jacobians valid as-is, so the tape is unchanged.
-		u := shiftMV(r.Arrival[nd.Fanin[0]], m.PinOff(id, 0))
-		if withTape && len(nd.Fanin) > 1 {
-			steps := make([]stats.Jac2x4, 0, len(nd.Fanin)-1)
-			for k, f := range nd.Fanin[1:] {
-				var jac stats.Jac2x4
-				u, jac = stats.Max2Jac(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
-				steps = append(steps, jac)
-			}
-			r.gateFold[id] = steps
-		} else {
-			for k, f := range nd.Fanin[1:] {
-				u = stats.Max2(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
-			}
+		r.gateFold[id] = steps
+	} else {
+		for k, f := range nd.Fanin[1:] {
+			u = stats.Max2(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
 		}
-		// T = U + t (paper eq 18c), with t from the sizable model.
-		t := m.GateMV(id, S)
-		r.GateDelay[id] = t
-		r.Arrival[id] = stats.Add(u, t)
 	}
-	// Circuit delay: stochastic max over the primary outputs
-	// (paper eq 18a).
+	// T = U + t (paper eq 18c), with t from the sizable model.
+	t := m.GateMV(id, S)
+	r.GateDelay[id] = t
+	r.Arrival[id] = stats.Add(u, t)
+}
+
+// foldOutputs computes the circuit delay: the stochastic max over the
+// primary outputs (paper eq 18a), folded in the fixed output order.
+func foldOutputs(r *Result, g *netlist.Graph, withTape bool) {
 	outs := g.C.Outputs
 	tmax := r.Arrival[outs[0]]
 	if withTape && len(outs) > 1 {
@@ -107,25 +99,34 @@ func Analyze(m *delay.Model, S []float64, withTape bool) *Result {
 		}
 	}
 	r.Tmax = tmax
+}
+
+// Analyze runs the forward statistical sweep for the model under the
+// speed-factor assignment S (indexed by NodeID). When withTape is set,
+// the per-max Jacobians are recorded so Backward can run. Analyze is
+// the serial sweep; AnalyzeWorkers is the parallel variant and
+// produces bit-identical results.
+func Analyze(m *delay.Model, S []float64, withTape bool) *Result {
+	g := m.G
+	n := len(g.C.Nodes)
+	r := &Result{
+		Arrival:   make([]stats.MV, n),
+		GateDelay: make([]stats.MV, n),
+		withTape:  withTape,
+	}
+	if withTape {
+		r.gateFold = make([][]stats.Jac2x4, n)
+	}
+	for _, id := range g.Topo {
+		forwardNode(r, m, S, id, withTape)
+	}
+	foldOutputs(r, g, withTape)
 	return r
 }
 
-// Backward propagates the adjoint seed (d phi/d muTmax, d phi/d
-// varTmax) back through the recorded sweep, returning d phi/d S as a
-// vector indexed by NodeID (input entries are zero). The Result must
-// have been produced with withTape set and the same (m, S).
-func (r *Result) Backward(m *delay.Model, S []float64, seedMu, seedVar float64) []float64 {
-	if !r.withTape {
-		panic("ssta: Backward requires a taped Analyze")
-	}
-	g := m.G
-	n := len(g.C.Nodes)
-	// adjMu/adjVar accumulate d phi / d Arrival[id].{Mu, Var}.
-	adjMu := make([]float64, n)
-	adjVar := make([]float64, n)
-	grad := make([]float64, n)
-
-	// Unfold the output max in reverse.
+// seedAdjoint unfolds the output max in reverse, seeding the adjoint
+// arrays from (d phi/d muTmax, d phi/d varTmax).
+func (r *Result) seedAdjoint(g *netlist.Graph, seedMu, seedVar float64, adjMu, adjVar []float64) {
 	outs := g.C.Outputs
 	aMu, aVar := seedMu, seedVar // adjoint of the fold accumulator
 	for i := len(outs) - 1; i >= 1; i-- {
@@ -139,39 +140,64 @@ func (r *Result) Backward(m *delay.Model, S []float64, seedMu, seedVar float64) 
 	}
 	adjMu[outs[0]] += aMu
 	adjVar[outs[0]] += aVar
+}
 
-	// Reverse topological sweep through the gates.
-	topo := g.Topo
-	for i := len(topo) - 1; i >= 0; i-- {
-		id := topo[i]
-		nd := &g.C.Nodes[id]
-		if nd.Kind == netlist.KindInput {
-			continue
-		}
-		am, av := adjMu[id], adjVar[id]
-		if am == 0 && av == 0 {
-			continue
-		}
-		// T = U + t: both summands inherit the adjoint unchanged.
-		// Gate delay: var_t = Sigma.Var(mu_t), so the variance
-		// adjoint folds into the mean-delay adjoint...
-		muT := r.GateDelay[id].Mu
-		dmu := am + av*m.Sigma.DVar(muT)
-		m.GateMuGrad(id, S, dmu, grad)
+// backwardNode pushes gate id's adjoint into its speed-factor gradient
+// and its fanins' adjoints. All of id's own adjoint contributions must
+// already be final — guaranteed when levels are processed in
+// decreasing order, because every fanout sits at a strictly higher
+// level.
+func (r *Result) backwardNode(m *delay.Model, S []float64, id netlist.NodeID, adjMu, adjVar, grad []float64) {
+	am, av := adjMu[id], adjVar[id]
+	if am == 0 && av == 0 {
+		return
+	}
+	// T = U + t: both summands inherit the adjoint unchanged.
+	// Gate delay: var_t = Sigma.Var(mu_t), so the variance
+	// adjoint folds into the mean-delay adjoint...
+	muT := r.GateDelay[id].Mu
+	dmu := am + av*m.Sigma.DVar(muT)
+	m.GateMuGrad(id, S, dmu, grad)
 
-		// U side: unfold the fanin max in reverse.
-		fanin := nd.Fanin
-		uMu, uVar := am, av
-		steps := r.gateFold[id]
-		for k := len(fanin) - 1; k >= 1; k-- {
-			j := steps[k-1]
-			f := fanin[k]
-			adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
-			adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
-			uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+	// U side: unfold the fanin max in reverse.
+	fanin := m.G.C.Nodes[id].Fanin
+	uMu, uVar := am, av
+	steps := r.gateFold[id]
+	for k := len(fanin) - 1; k >= 1; k-- {
+		j := steps[k-1]
+		f := fanin[k]
+		adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
+		adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
+		uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+	}
+	adjMu[fanin[0]] += uMu
+	adjVar[fanin[0]] += uVar
+}
+
+// Backward propagates the adjoint seed (d phi/d muTmax, d phi/d
+// varTmax) back through the recorded sweep, returning d phi/d S as a
+// vector indexed by NodeID (input entries are zero). The Result must
+// have been produced with withTape set and the same (m, S).
+//
+// The sweep visits levels in decreasing order and nodes inside a
+// level in bucket order — the canonical adjoint accumulation order
+// that BackwardWorkers reproduces exactly for any worker count.
+func (r *Result) Backward(m *delay.Model, S []float64, seedMu, seedVar float64) []float64 {
+	if !r.withTape {
+		panic("ssta: Backward requires a taped Analyze")
+	}
+	g := m.G
+	n := len(g.C.Nodes)
+	// adjMu/adjVar accumulate d phi / d Arrival[id].{Mu, Var}.
+	adjMu := make([]float64, n)
+	adjVar := make([]float64, n)
+	grad := make([]float64, n)
+	r.seedAdjoint(g, seedMu, seedVar, adjMu, adjVar)
+	// Level 0 holds only primary inputs, which have no gradient.
+	for l := len(g.Levels) - 1; l >= 1; l-- {
+		for _, id := range g.Levels[l] {
+			r.backwardNode(m, S, id, adjMu, adjVar, grad)
 		}
-		adjMu[fanin[0]] += uMu
-		adjVar[fanin[0]] += uVar
 	}
 	return grad
 }
@@ -214,41 +240,26 @@ func Criticality(m *delay.Model, S []float64) []float64 {
 	adjMu := make([]float64, n)
 	adjVar := make([]float64, n)
 	crit := make([]float64, n)
+	r.seedAdjoint(g, 1, 0, adjMu, adjVar)
 
-	outs := g.C.Outputs
-	aMu, aVar := 1.0, 0.0
-	for i := len(outs) - 1; i >= 1; i-- {
-		j := r.outFold[i-1]
-		o := outs[i]
-		adjMu[o] += aMu*j[0][2] + aVar*j[1][2]
-		adjVar[o] += aMu*j[0][3] + aVar*j[1][3]
-		aMu, aVar = aMu*j[0][0]+aVar*j[1][0], aMu*j[0][1]+aVar*j[1][1]
-	}
-	adjMu[outs[0]] += aMu
-	adjVar[outs[0]] += aVar
-
-	topo := g.Topo
-	for i := len(topo) - 1; i >= 0; i-- {
-		id := topo[i]
-		nd := &g.C.Nodes[id]
-		if nd.Kind == netlist.KindInput {
-			continue
+	for l := len(g.Levels) - 1; l >= 1; l-- {
+		for _, id := range g.Levels[l] {
+			am, av := adjMu[id], adjVar[id]
+			muT := r.GateDelay[id].Mu
+			crit[id] = am + av*m.Sigma.DVar(muT)
+			fanin := g.C.Nodes[id].Fanin
+			uMu, uVar := am, av
+			steps := r.gateFold[id]
+			for k := len(fanin) - 1; k >= 1; k-- {
+				j := steps[k-1]
+				f := fanin[k]
+				adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
+				adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
+				uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+			}
+			adjMu[fanin[0]] += uMu
+			adjVar[fanin[0]] += uVar
 		}
-		am, av := adjMu[id], adjVar[id]
-		muT := r.GateDelay[id].Mu
-		crit[id] = am + av*m.Sigma.DVar(muT)
-		fanin := nd.Fanin
-		uMu, uVar := am, av
-		steps := r.gateFold[id]
-		for k := len(fanin) - 1; k >= 1; k-- {
-			j := steps[k-1]
-			f := fanin[k]
-			adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
-			adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
-			uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
-		}
-		adjMu[fanin[0]] += uMu
-		adjVar[fanin[0]] += uVar
 	}
 	return crit
 }

@@ -59,10 +59,17 @@ func Max2(a, b MV) MV {
 	theta2 := a.Var + b.Var
 	if theta2 <= thetaEps*thetaEps {
 		// Degenerate: both operands are (numerically) deterministic.
-		if a.Mu >= b.Mu {
+		// On an exact mean tie the larger residual variance wins —
+		// the same choice Max2Jac makes, so taped and untaped sweeps
+		// agree on every input.
+		switch {
+		case a.Mu > b.Mu:
 			return MV{Mu: a.Mu, Var: a.Var}
+		case b.Mu > a.Mu:
+			return MV{Mu: b.Mu, Var: b.Var}
+		default:
+			return MV{Mu: a.Mu, Var: math.Max(a.Var, b.Var)}
 		}
-		return MV{Mu: b.Mu, Var: b.Var}
 	}
 	theta := math.Sqrt(theta2)
 	shift := math.Max(a.Mu, b.Mu)

@@ -298,6 +298,75 @@ func TestMax2JacDegenerate(t *testing.T) {
 	}
 }
 
+func TestMax2AndMax2JacAgreeOnDegenerateTie(t *testing.T) {
+	// Regression: on an exact mean tie in the degenerate branch Max2
+	// used to return a.Var while Max2Jac returned max(a.Var, b.Var),
+	// so taped and untaped sweeps could diverge. Both must now return
+	// the larger residual variance, whichever operand holds it.
+	cases := [][2]MV{
+		{{4, 1e-26}, {4, 3e-26}},
+		{{4, 3e-26}, {4, 1e-26}},
+		{{-2, 0}, {-2, 5e-25}},
+		{{0, 0}, {0, 0}},
+	}
+	for _, c := range cases {
+		if !Degenerate(c[0], c[1]) {
+			t.Fatalf("case %+v not degenerate", c)
+		}
+		v1 := Max2(c[0], c[1])
+		v2, _ := Max2Jac(c[0], c[1])
+		if v1 != v2 {
+			t.Errorf("tie disagreement for %+v: Max2 %+v vs Max2Jac %+v", c, v1, v2)
+		}
+		if want := math.Max(c[0].Var, c[1].Var); v1.Var != want {
+			t.Errorf("tie var for %+v = %v, want %v", c, v1.Var, want)
+		}
+	}
+}
+
+func TestMax2JacFiniteDifferencesNearDegenerateTie(t *testing.T) {
+	// Spot-check the analytic Jacobian just above the degenerate
+	// floor, where the operands tie in mean and carry tiny variances —
+	// the regime the degenerate branch hands over to Clark's formulas.
+	// Means sit at zero so central differences do not lose the signal
+	// to cancellation against a large common mean.
+	cases := [][2]MV{
+		{{0, 1e-4}, {0, 2.25e-4}},
+		{{0, 1e-6}, {0, 1e-6}},
+		{{1e-9, 4e-5}, {0, 4e-5}},
+	}
+	for _, c := range cases {
+		if Degenerate(c[0], c[1]) {
+			t.Fatalf("case %+v fell below the degenerate floor", c)
+		}
+		_, j := Max2Jac(c[0], c[1])
+		x := []float64{c[0].Mu, c[0].Var, c[1].Mu, c[1].Var}
+		theta := math.Sqrt(c[0].Var + c[1].Var)
+		eval := func(x []float64) MV { return Max2(MV{x[0], x[1]}, MV{x[2], x[3]}) }
+		for k := 0; k < 4; k++ {
+			// Means vary on the scale of theta, variances on their own
+			// magnitude; step well inside both scales.
+			h := 1e-6 * theta
+			if k == 1 || k == 3 {
+				h = 1e-4 * x[k]
+			}
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[k] += h
+			xm[k] -= h
+			vp, vm := eval(xp), eval(xm)
+			fdMu := (vp.Mu - vm.Mu) / (2 * h)
+			fdVar := (vp.Var - vm.Var) / (2 * h)
+			if !close(j[0][k], fdMu, 1e-4) {
+				t.Errorf("case %+v near-tie dmu[%d]: analytic %v, FD %v", c, k, j[0][k], fdMu)
+			}
+			if !close(j[1][k], fdVar, 1e-4) {
+				t.Errorf("case %+v near-tie dvar[%d]: analytic %v, FD %v", c, k, j[1][k], fdVar)
+			}
+		}
+	}
+}
+
 func TestMax2JacRowSumProperty(t *testing.T) {
 	// Shift invariance implies d muC/d muA + d muC/d muB = 1.
 	f := func(m1, v1, m2, v2 float64) bool {
