@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run NONE -bench . -benchtime 1x .
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race

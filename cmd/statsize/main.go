@@ -40,7 +40,7 @@ func main() {
 		limit         = flag.Float64("limit", 3, "maximum speed factor")
 		showSizes     = flag.Bool("sizes", false, "print per-gate speed factors")
 		verbose       = flag.Bool("v", false, "log solver progress")
-		workers       = flag.Int("j", 0, "worker goroutines for the SSTA sweeps in the solver loop (0 = all CPUs, 1 = serial; results are identical for any value)")
+		workers       = flag.Int("j", 0, "worker goroutines for the SSTA sweeps and the NLP element evaluation engine (0 = all CPUs, 1 = serial; results are identical for any value)")
 	)
 	flag.Var(&constraints, "constraint", `timing constraint, repeatable: "mu<=120", "mu+3sigma<=120", "mu=6.5"`)
 	flag.Parse()

@@ -97,9 +97,9 @@ func TestQuantileNearestRank(t *testing.T) {
 	}{
 		{-0.5, 10},
 		{0, 10},
-		{0.1, 10},   // ceil(0.4) = 1
-		{0.25, 10},  // ceil(1.0) = 1
-		{0.26, 20},  // ceil(1.04) = 2
+		{0.1, 10},  // ceil(0.4) = 1
+		{0.25, 10}, // ceil(1.0) = 1
+		{0.26, 20}, // ceil(1.04) = 2
 		{0.5, 20},  // ceil(2.0) = 2
 		{0.51, 30}, // ceil(2.04) = 3
 		{0.75, 30},

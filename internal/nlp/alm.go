@@ -51,6 +51,16 @@ type Options struct {
 	RhoMax float64
 	// Memory is the number of L-BFGS correction pairs (default 10).
 	Memory int
+	// Workers bounds the worker goroutines of the element evaluation
+	// engine: <= 0 uses one per CPU, 1 forces serial evaluation.
+	// Results are bit-for-bit identical for every worker count — the
+	// engine folds all accumulations in serial element order. When
+	// Workers permits parallelism (and the problem has at least
+	// engineMinElements elements), Eval/Grad/Hess callbacks of
+	// *distinct* elements may run concurrently, so elements must not
+	// share mutable state; one element's callbacks are never invoked
+	// concurrently with each other.
+	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -122,59 +132,57 @@ type Result struct {
 	MaxViolation float64
 	// LambdaEq and LambdaIneq are the final multiplier estimates.
 	LambdaEq, LambdaIneq []float64
-	// FuncEvals counts merit-function evaluations.
+	// FuncEvals counts full merit (augmented-Lagrangian) evaluations:
+	// each one evaluates every element of the problem exactly once,
+	// plus the element gradients when the caller asked for them. It is
+	// the paper's "function evaluations" cost measure for the inner
+	// solvers.
 	FuncEvals int
+	// ObjEvals counts raw-objective-only evaluations (objective
+	// elements, no constraints): the outer loop's progress logging and
+	// the final F report. These were silently uncounted before the
+	// counters were split; they are deliberately *not* part of
+	// FuncEvals, which would overstate the merit cost.
+	ObjEvals int
 }
 
 // almState carries the augmented-Lagrangian data shared between the
-// outer loop and the inner minimizers.
+// outer loop and the inner minimizers. All element evaluation goes
+// through the engine, which owns the arena scratch.
 type almState struct {
 	p        *Problem
+	eng      *engine
 	rho      float64
 	lamEq    []float64
 	lamIneq  []float64
 	cEq      []float64 // constraint values at the last eval point
 	cIneq    []float64
-	localX   []float64 // scratch: local variable gather
-	localG   []float64 // scratch: local gradient
 	fnEvals  int
-	maxLocal int
+	objEvals int
 }
 
-func newALMState(p *Problem, rho float64) *almState {
-	maxLocal := 1
-	scan := func(el *Element) {
-		if len(el.Vars) > maxLocal {
-			maxLocal = len(el.Vars)
-		}
+func newALMState(p *Problem, rho float64, workers int) *almState {
+	s := &almState{
+		p:       p,
+		rho:     rho,
+		lamEq:   make([]float64, len(p.EqCons)),
+		lamIneq: make([]float64, len(p.IneqCons)),
+		cEq:     make([]float64, len(p.EqCons)),
+		cIneq:   make([]float64, len(p.IneqCons)),
 	}
-	for i := range p.Objective {
-		scan(&p.Objective[i])
-	}
-	for i := range p.EqCons {
-		scan(&p.EqCons[i].El)
-	}
-	for i := range p.IneqCons {
-		scan(&p.IneqCons[i].El)
-	}
-	return &almState{
-		p:        p,
-		rho:      rho,
-		lamEq:    make([]float64, len(p.EqCons)),
-		lamIneq:  make([]float64, len(p.IneqCons)),
-		cEq:      make([]float64, len(p.EqCons)),
-		cIneq:    make([]float64, len(p.IneqCons)),
-		localX:   make([]float64, maxLocal),
-		localG:   make([]float64, maxLocal),
-		maxLocal: maxLocal,
-	}
+	s.eng = newEngine(p, s, workers)
+	return s
 }
 
 // objective returns the raw objective value at x.
 func (s *almState) objective(x []float64) float64 {
+	s.objEvals++
+	e := s.eng
+	e.x = x
+	e.dispatch(modeObjEval)
 	var f float64
-	for i := range s.p.Objective {
-		f += evalElement(&s.p.Objective[i], x, s.localX)
+	for i := 0; i < e.nObj; i++ {
+		f += e.refs[i].val
 	}
 	return f
 }
@@ -182,59 +190,60 @@ func (s *almState) objective(x []float64) float64 {
 // merit evaluates the augmented Lagrangian and, when grad is non-nil,
 // its gradient (grad is overwritten). Constraint values are cached in
 // cEq / cIneq for the outer loop.
+//
+// The engine computes element values (and then gradients) in parallel;
+// the folds below accumulate phi and scatter the gradient in exact
+// serial element order, so the result is bit-identical for any worker
+// count. The fold also fixes each element's gradient weight w (the ALM
+// chain-rule factor), which the gradient dispatch uses to skip
+// elements that cannot contribute — inactive inequalities exactly as
+// the serial code always did.
 func (s *almState) merit(x []float64, grad []float64) float64 {
 	s.fnEvals++
-	if grad != nil {
-		for i := range grad {
-			grad[i] = 0
-		}
-	}
+	e := s.eng
+	e.x = x
+	e.dispatch(modeEval)
 	var phi float64
-	for i := range s.p.Objective {
-		el := &s.p.Objective[i]
-		if grad != nil {
-			phi += gradElement(el, x, 1, grad, s.localX, s.localG)
-		} else {
-			phi += evalElement(el, x, s.localX)
-		}
-	}
-	for i := range s.p.EqCons {
-		el := &s.p.EqCons[i].El
-		n := len(el.Vars)
-		for k, v := range el.Vars {
-			s.localX[k] = x[v]
-		}
-		c := el.Eval(s.localX[:n])
-		s.cEq[i] = c
-		phi += s.lamEq[i]*c + 0.5*s.rho*c*c
-		if grad != nil {
+	for i := range e.refs {
+		r := &e.refs[i]
+		switch r.kind {
+		case elObjective:
+			phi += r.val
+			r.w = 1
+		case elEquality:
+			c := r.val
+			s.cEq[r.ci] = c
+			phi += s.lamEq[r.ci]*c + 0.5*s.rho*c*c
 			// The ALM gradient weight is lambda + rho*c.
-			el.Grad(s.localX[:n], s.localG[:n])
-			w := s.lamEq[i] + s.rho*c
-			for k, v := range el.Vars {
-				grad[v] += w * s.localG[k]
+			r.w = s.lamEq[r.ci] + s.rho*c
+		case elInequality:
+			c := r.val
+			s.cIneq[r.ci] = c
+			lam := s.lamIneq[r.ci]
+			if m := lam + s.rho*c; m > 0 {
+				phi += (m*m - lam*lam) / (2 * s.rho)
+				r.w = m
+			} else {
+				phi += -lam * lam / (2 * s.rho)
+				r.w = 0
 			}
 		}
 	}
-	for i := range s.p.IneqCons {
-		el := &s.p.IneqCons[i].El
-		n := len(el.Vars)
-		for k, v := range el.Vars {
-			s.localX[k] = x[v]
+	if grad == nil {
+		return phi
+	}
+	e.dispatch(modeGrad)
+	for i := range grad {
+		grad[i] = 0
+	}
+	for i := range e.refs {
+		r := &e.refs[i]
+		if r.w == 0 {
+			continue
 		}
-		c := el.Eval(s.localX[:n])
-		s.cIneq[i] = c
-		m := s.lamIneq[i] + s.rho*c
-		if m > 0 {
-			phi += (m*m - s.lamIneq[i]*s.lamIneq[i]) / (2 * s.rho)
-			if grad != nil {
-				el.Grad(s.localX[:n], s.localG[:n])
-				for k, v := range el.Vars {
-					grad[v] += m * s.localG[k]
-				}
-			}
-		} else {
-			phi += -s.lamIneq[i] * s.lamIneq[i] / (2 * s.rho)
+		lg := e.slabG[r.off : r.off+r.n]
+		for k, v := range r.el.Vars {
+			grad[v] += r.w * lg[k]
 		}
 	}
 	return phi
@@ -292,7 +301,8 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	x := append([]float64(nil), x0...)
 	p.project(x)
 
-	st := newALMState(p, opt.RhoInit)
+	st := newALMState(p, opt.RhoInit, opt.Workers)
+	defer st.eng.close()
 	res := &Result{}
 
 	constrained := len(p.EqCons)+len(p.IneqCons) > 0
@@ -368,5 +378,6 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	res.LambdaEq = st.lamEq
 	res.LambdaIneq = st.lamIneq
 	res.FuncEvals = st.fnEvals
+	res.ObjEvals = st.objEvals
 	return res, nil
 }

@@ -51,11 +51,11 @@ func TestHS35(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.F, 1.0/9, 1e-4) {
+		if !approx(r.F, 1.0/9, 1e-4) {
 			t.Errorf("%v: f = %v, want 1/9", m, r.F)
 		}
 		for i := range want {
-			if !close(r.X[i], want[i], 1e-3) {
+			if !approx(r.X[i], want[i], 1e-3) {
 				t.Errorf("%v: x[%d] = %v, want %v", m, i, r.X[i], want[i])
 			}
 		}
@@ -108,7 +108,7 @@ func TestHS48(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.F, 0, 1e-6) {
+		if !approx(r.F, 0, 1e-6) {
 			t.Errorf("%v: f = %v, want 0", m, r.F)
 		}
 		if r.MaxViolation > 1e-5 {
@@ -144,10 +144,10 @@ func TestHS4(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.X[0], 1, 1e-6) || !close(r.X[1], 0, 1e-6) {
+		if !approx(r.X[0], 1, 1e-6) || !approx(r.X[1], 0, 1e-6) {
 			t.Errorf("%v: x = %v, want (1, 0)", m, r.X)
 		}
-		if !close(r.F, 8.0/3, 1e-6) {
+		if !approx(r.F, 8.0/3, 1e-6) {
 			t.Errorf("%v: f = %v, want 8/3", m, r.F)
 		}
 	}
@@ -290,7 +290,7 @@ func TestBothMethodsAgreeOnConvexQPs(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Convex: unique optimum, methods must agree.
-		if !close(a.F, b.F, 1e-4) {
+		if !approx(a.F, b.F, 1e-4) {
 			t.Errorf("trial %d: LBFGS %v vs Newton %v", trial, a.F, b.F)
 		}
 	}

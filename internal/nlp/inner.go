@@ -26,6 +26,7 @@ type lbfgsSolver struct {
 	grad, xNew, gNew, d []float64
 	s, y                [][]float64 // circular history
 	rhoPairs            []float64   // 1 / (y.s)
+	alpha               []float64   // two-loop scratch, reused
 	histLen, histPos    int
 }
 
@@ -40,6 +41,7 @@ func newLBFGSSolver(p *Problem, st *almState, opt Options) *lbfgsSolver {
 		s:        make([][]float64, m),
 		y:        make([][]float64, m),
 		rhoPairs: make([]float64, m),
+		alpha:    make([]float64, m),
 	}
 	for i := 0; i < m; i++ {
 		sl.s[i] = make([]float64, p.N)
@@ -82,7 +84,7 @@ func (sl *lbfgsSolver) direction(x, g []float64) {
 		d[k] = -g[k]
 	}
 	if sl.histLen > 0 {
-		alpha := make([]float64, sl.histLen)
+		alpha := sl.alpha[:sl.histLen]
 		// Newest pair is at histPos-1.
 		idx := func(j int) int {
 			return ((sl.histPos-1-j)%len(sl.s) + len(sl.s)) % len(sl.s)

@@ -19,141 +19,59 @@ type newtonSolver struct {
 	grad, xNew, gNew, d []float64
 	r, z, hz            []float64 // CG work vectors
 	free                []bool
-
-	cache   []elemCache
-	localV  []float64
-	localHV []float64
-}
-
-// elemCache holds one element's second-order data at the current
-// point: the local Hessian scaled by hw, plus for constraints the
-// local gradient contributing the Gauss-Newton rank-one term
-// gw * lg lg^T.
-type elemCache struct {
-	vars []int
-	hw   float64
-	gw   float64
-	lg   []float64
-	h    [][]float64
 }
 
 func newNewtonSolver(p *Problem, st *almState, opt Options) *newtonSolver {
-	ns := &newtonSolver{
+	return &newtonSolver{
 		p: p, st: st, opt: opt,
-		grad:    make([]float64, p.N),
-		xNew:    make([]float64, p.N),
-		gNew:    make([]float64, p.N),
-		d:       make([]float64, p.N),
-		r:       make([]float64, p.N),
-		z:       make([]float64, p.N),
-		hz:      make([]float64, p.N),
-		free:    make([]bool, p.N),
-		localV:  make([]float64, st.maxLocal),
-		localHV: make([]float64, st.maxLocal),
+		grad: make([]float64, p.N),
+		xNew: make([]float64, p.N),
+		gNew: make([]float64, p.N),
+		d:    make([]float64, p.N),
+		r:    make([]float64, p.N),
+		z:    make([]float64, p.N),
+		hz:   make([]float64, p.N),
+		free: make([]bool, p.N),
 	}
-	nEl := len(p.Objective) + len(p.EqCons) + len(p.IneqCons)
-	ns.cache = make([]elemCache, 0, nEl)
-	return ns
 }
 
-// buildCache evaluates every element's Hessian data at x.
+// buildCache evaluates every element's second-order data at x into the
+// engine arena: the local Hessian block weighted by hw, plus for
+// active constraints the local gradient contributing the Gauss-Newton
+// rank-one term gw * lg lg^T. Elements are processed in parallel —
+// every write lands in element-owned arena slots, so the cache is
+// identical for any worker count — and inequality elements whose
+// multiplier estimate is inactive (lambda + rho*c <= 0) are flagged
+// out exactly as the serial code excluded them. All storage is
+// reused across iterations; steady state allocates nothing.
 func (ns *newtonSolver) buildCache(x []float64) {
-	ns.cache = ns.cache[:0]
-	st := ns.st
-	addEntry := func(el *Element, hw, gw float64, withGrad bool) {
-		n := len(el.Vars)
-		for k, v := range el.Vars {
-			st.localX[k] = x[v]
-		}
-		ec := elemCache{vars: el.Vars, hw: hw, gw: gw}
-		if withGrad {
-			ec.lg = make([]float64, n)
-			el.Grad(st.localX[:n], ec.lg)
-		}
-		if hw != 0 {
-			ec.h = make([][]float64, n)
-			for i := range ec.h {
-				ec.h[i] = make([]float64, n)
-			}
-			el.Hess(st.localX[:n], ec.h)
-		}
-		ns.cache = append(ns.cache, ec)
-	}
-	for i := range ns.p.Objective {
-		addEntry(&ns.p.Objective[i], 1, 0, false)
-	}
-	for i := range ns.p.EqCons {
-		el := &ns.p.EqCons[i].El
-		n := len(el.Vars)
-		for k, v := range el.Vars {
-			st.localX[k] = x[v]
-		}
-		c := el.Eval(st.localX[:n])
-		addEntry(el, st.lamEq[i]+st.rho*c, st.rho, true)
-	}
-	for i := range ns.p.IneqCons {
-		el := &ns.p.IneqCons[i].El
-		n := len(el.Vars)
-		for k, v := range el.Vars {
-			st.localX[k] = x[v]
-		}
-		c := el.Eval(st.localX[:n])
-		if m := st.lamIneq[i] + st.rho*c; m > 0 {
-			addEntry(el, m, st.rho, true)
-		}
-	}
+	e := ns.st.eng
+	e.x = x
+	e.dispatch(modeHessCache)
 }
 
 // hessVec computes out = H*v restricted to the free variables (masked
 // components of v are treated as zero and masked outputs are zeroed).
+// Workers compute each element's local H*v contribution into private
+// arena scratch; the fold below scatters them into out in exact serial
+// element order, keeping the product bit-identical for any worker
+// count.
 func (ns *newtonSolver) hessVec(v, out []float64) {
+	e := ns.st.eng
+	e.v, e.free = v, ns.free
+	e.dispatch(modeHessVec)
 	for i := range out {
 		out[i] = 0
 	}
-	for ci := range ns.cache {
-		ec := &ns.cache[ci]
-		n := len(ec.vars)
-		anyNonzero := false
-		for k, idx := range ec.vars {
-			val := 0.0
-			if ns.free[idx] {
-				val = v[idx]
-			}
-			ns.localV[k] = val
-			if val != 0 {
-				anyNonzero = true
-			}
-		}
-		if !anyNonzero {
+	for i := range e.refs {
+		r := &e.refs[i]
+		if !r.active || !r.touched {
 			continue
 		}
-		if ec.h != nil {
-			for i := 0; i < n; i++ {
-				var s float64
-				row := ec.h[i]
-				for j := 0; j < n; j++ {
-					s += row[j] * ns.localV[j]
-				}
-				ns.localHV[i] = ec.hw * s
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				ns.localHV[i] = 0
-			}
-		}
-		if ec.gw != 0 {
-			var dot float64
-			for k := 0; k < n; k++ {
-				dot += ec.lg[k] * ns.localV[k]
-			}
-			dot *= ec.gw
-			for k := 0; k < n; k++ {
-				ns.localHV[k] += dot * ec.lg[k]
-			}
-		}
-		for k, idx := range ec.vars {
+		hv := e.slabHV[r.off : r.off+r.n]
+		for k, idx := range r.el.Vars {
 			if ns.free[idx] {
-				out[idx] += ns.localHV[k]
+				out[idx] += hv[k]
 			}
 		}
 	}

@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func close(a, b, tol float64) bool {
+func approx(a, b, tol float64) bool {
 	if a == b {
 		return true
 	}
@@ -120,7 +120,7 @@ func TestUnconstrainedQuadratic(t *testing.T) {
 			t.Errorf("%v: status %v", m, r.Status)
 		}
 		for i := range c {
-			if !close(r.X[i], c[i], 1e-5) {
+			if !approx(r.X[i], c[i], 1e-5) {
 				t.Errorf("%v: x[%d] = %v, want %v", m, i, r.X[i], c[i])
 			}
 		}
@@ -139,7 +139,7 @@ func TestRosenbrock(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range r.X {
-			if !close(r.X[i], 1, 1e-4) {
+			if !approx(r.X[i], 1, 1e-4) {
 				t.Errorf("%v: x[%d] = %v, want 1 (status %v, pg %v)",
 					m, i, r.X[i], r.Status, r.ProjGradNorm)
 			}
@@ -164,7 +164,7 @@ func TestBoundedQuadratic(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range want {
-			if !close(r.X[i], want[i], 1e-5) {
+			if !approx(r.X[i], want[i], 1e-5) {
 				t.Errorf("%v: x[%d] = %v, want %v", m, i, r.X[i], want[i])
 			}
 		}
@@ -179,7 +179,7 @@ func TestX0ProjectedIntoBox(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !close(r.X[0], 2, 1e-8) {
+	if !approx(r.X[0], 2, 1e-8) {
 		t.Errorf("x = %v, want 2", r.X[0])
 	}
 }
@@ -216,7 +216,7 @@ func TestEqualityConstrainedHS6(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.X[0], 1, 1e-4) || !close(r.X[1], 1, 1e-4) {
+		if !approx(r.X[0], 1, 1e-4) || !approx(r.X[1], 1, 1e-4) {
 			t.Errorf("%v: x = %v, want (1,1); status %v viol %v",
 				m, r.X, r.Status, r.MaxViolation)
 		}
@@ -244,10 +244,10 @@ func TestInequalityConstrained(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.X[0], 0.5, 1e-4) || !close(r.X[1], 0.5, 1e-4) {
+		if !approx(r.X[0], 0.5, 1e-4) || !approx(r.X[1], 0.5, 1e-4) {
 			t.Errorf("%v: x = %v, want (0.5, 0.5)", m, r.X)
 		}
-		if !close(r.LambdaIneq[0], 1, 1e-3) {
+		if !approx(r.LambdaIneq[0], 1, 1e-3) {
 			t.Errorf("%v: multiplier = %v, want 1", m, r.LambdaIneq[0])
 		}
 	}
@@ -265,10 +265,10 @@ func TestInactiveInequalityIgnored(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.X[0], 1, 1e-5) {
+		if !approx(r.X[0], 1, 1e-5) {
 			t.Errorf("%v: x = %v, want 1", m, r.X[0])
 		}
-		if !close(r.LambdaIneq[0], 0, 1e-6) {
+		if !approx(r.LambdaIneq[0], 0, 1e-6) {
 			t.Errorf("%v: inactive multiplier = %v", m, r.LambdaIneq[0])
 		}
 	}
@@ -365,11 +365,11 @@ func TestHS71(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.F, 17.0140173, 1e-3) {
+		if !approx(r.F, 17.0140173, 1e-3) {
 			t.Errorf("%v: f = %v, want 17.014 (status %v)", m, r.F, r.Status)
 		}
 		for i := range want {
-			if !close(r.X[i], want[i], 1e-2) {
+			if !approx(r.X[i], want[i], 1e-2) {
 				t.Errorf("%v: x[%d] = %v, want %v", m, i, r.X[i], want[i])
 			}
 		}
@@ -423,7 +423,7 @@ func TestLargeSeparableProblem(t *testing.T) {
 		}
 		// By symmetry every x_i is n/2 / n = 0.5.
 		for i := 0; i < n; i += 197 {
-			if !close(r.X[i], 0.5, 1e-3) {
+			if !approx(r.X[i], 0.5, 1e-3) {
 				t.Errorf("%v: x[%d] = %v, want 0.5", m, i, r.X[i])
 			}
 		}
@@ -439,7 +439,7 @@ func TestMaximizeViaNegation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !close(r.F, 0, 1e-8) {
+	if !approx(r.F, 0, 1e-8) {
 		t.Errorf("F = %v", r.F)
 	}
 }
@@ -447,7 +447,7 @@ func TestMaximizeViaNegation(t *testing.T) {
 func TestLinearElement(t *testing.T) {
 	el := LinearElement([]int{0, 3}, []float64{2, -1}, 5)
 	x := []float64{1.5, 7}
-	if got := el.Eval(x); !close(got, 2*1.5-7+5, 1e-15) {
+	if got := el.Eval(x); !approx(got, 2*1.5-7+5, 1e-15) {
 		t.Errorf("Eval = %v", got)
 	}
 	g := make([]float64, 2)
@@ -511,7 +511,7 @@ func TestEqualityWithBounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !close(r.X[0], 2, 1e-3) || !close(r.X[1], 2, 1e-3) {
+		if !approx(r.X[0], 2, 1e-3) || !approx(r.X[1], 2, 1e-3) {
 			t.Errorf("%v: x = %v, want (2,2)", m, r.X)
 		}
 	}

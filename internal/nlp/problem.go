@@ -24,6 +24,13 @@ import (
 // Element is a function of a small subset of the problem variables.
 // Eval, Grad and Hess all receive the *local* variable vector x with
 // x[k] holding the value of problem variable Vars[k].
+//
+// When the solver runs with Options.Workers permitting parallelism,
+// callbacks of *distinct* elements may be invoked concurrently, so
+// they must not share mutable state (pure closures over immutable
+// captures are ideal; a private scratch buffer per element is fine).
+// One element's own callbacks are never run concurrently with each
+// other.
 type Element struct {
 	// Vars lists the problem-variable indices the element touches.
 	Vars []int
@@ -160,30 +167,6 @@ func (p *Problem) project(x []float64) {
 			x[i] = hi
 		}
 	}
-}
-
-// evalElement evaluates one element at the global point x using the
-// scratch local buffer, returning the value.
-func evalElement(el *Element, x, local []float64) float64 {
-	for k, v := range el.Vars {
-		local[k] = x[v]
-	}
-	return el.Eval(local[:len(el.Vars)])
-}
-
-// gradElement evaluates value and gradient of an element at the global
-// point, scattering scale*localGrad into the global grad vector.
-func gradElement(el *Element, x []float64, scale float64, grad, local, lg []float64) float64 {
-	n := len(el.Vars)
-	for k, v := range el.Vars {
-		local[k] = x[v]
-	}
-	f := el.Eval(local[:n])
-	el.Grad(local[:n], lg[:n])
-	for k, v := range el.Vars {
-		grad[v] += scale * lg[k]
-	}
-	return f
 }
 
 // LinearElement returns an element computing sum_k coeffs[k] *

@@ -426,7 +426,13 @@ func solveFullSpace(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := nlp.Solve(p, x0, spec.Solver)
+	opt := spec.Solver
+	if opt.Workers == 0 {
+		// Spec.Workers drives the NLP element evaluation engine too
+		// (an explicitly set Solver.Workers wins).
+		opt.Workers = spec.Workers
+	}
+	res, err := nlp.Solve(p, x0, opt)
 	if err != nil {
 		return nil, nil, err
 	}

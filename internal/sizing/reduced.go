@@ -12,34 +12,37 @@ import (
 
 // reducedEval adapts the SSTA forward/adjoint sweeps to nlp.Element
 // callbacks. The problem variables are the speed factors of the gates
-// in dense order; the scratch full-length S vector is shared across
-// closures, which is safe because the NLP solver is single-threaded.
+// in dense order. Each element owns a private full-length S scratch
+// buffer (passed explicitly to the helpers below), which makes every
+// Eval/Grad a pure function of its local point: the NLP engine may
+// evaluate distinct elements concurrently when nlp.Options.Workers
+// permits.
 type reducedEval struct {
 	m       *delay.Model
 	gates   []netlist.NodeID
-	S       []float64
 	workers int
 }
 
-func (re *reducedEval) setS(x []float64) {
+func (re *reducedEval) setS(S, x []float64) {
 	for i, id := range re.gates {
-		re.S[id] = x[i]
+		S[id] = x[i]
 	}
 }
 
-// moments runs the forward sweep at the dense point x.
-func (re *reducedEval) moments(x []float64) (mu, variance float64) {
-	re.setS(x)
-	r := ssta.AnalyzeWorkers(re.m, re.S, false, re.workers)
+// moments runs the forward sweep at the dense point x using the
+// caller-owned S scratch.
+func (re *reducedEval) moments(S, x []float64) (mu, variance float64) {
+	re.setS(S, x)
+	r := ssta.AnalyzeWorkers(re.m, S, false, re.workers)
 	return r.Tmax.Mu, r.Tmax.Var
 }
 
 // gradMoments runs a taped sweep and the adjoint with the given seed,
 // scattering the result into the dense gradient g.
-func (re *reducedEval) gradMoments(x, g []float64, seedMu, seedVar float64) {
-	re.setS(x)
-	r := ssta.AnalyzeWorkers(re.m, re.S, true, re.workers)
-	full := r.BackwardWorkers(re.m, re.S, seedMu, seedVar, re.workers)
+func (re *reducedEval) gradMoments(S, x, g []float64, seedMu, seedVar float64) {
+	re.setS(S, x)
+	r := ssta.AnalyzeWorkers(re.m, S, true, re.workers)
+	full := r.BackwardWorkers(re.m, S, seedMu, seedVar, re.workers)
 	for i, id := range re.gates {
 		g[i] = full[id]
 	}
@@ -50,12 +53,14 @@ func (re *reducedEval) gradMoments(x, g []float64, seedMu, seedVar float64) {
 const sigmaFloor = 1e-9
 
 // muKSigmaElement returns an element computing
-// muTmax + k*sigmaTmax + shift over all speed factors.
+// muTmax + k*sigmaTmax + shift over all speed factors. The captured S
+// buffer is private to the element.
 func (re *reducedEval) muKSigmaElement(vars []int, k, shift float64) nlp.Element {
+	S := re.m.UnitSizes()
 	return nlp.Element{
 		Vars: vars,
 		Eval: func(x []float64) float64 {
-			mu, v := re.moments(x)
+			mu, v := re.moments(S, x)
 			if k == 0 {
 				return mu + shift
 			}
@@ -63,28 +68,29 @@ func (re *reducedEval) muKSigmaElement(vars []int, k, shift float64) nlp.Element
 		},
 		Grad: func(x []float64, g []float64) {
 			if k == 0 {
-				re.gradMoments(x, g, 1, 0)
+				re.gradMoments(S, x, g, 1, 0)
 				return
 			}
-			_, v := re.moments(x)
+			_, v := re.moments(S, x)
 			sigma := math.Max(math.Sqrt(v), sigmaFloor)
-			re.gradMoments(x, g, 1, k/(2*sigma))
+			re.gradMoments(S, x, g, 1, k/(2*sigma))
 		},
 	}
 }
 
 // sigmaElement returns an element computing sign * sigmaTmax.
 func (re *reducedEval) sigmaElement(vars []int, sign float64) nlp.Element {
+	S := re.m.UnitSizes()
 	return nlp.Element{
 		Vars: vars,
 		Eval: func(x []float64) float64 {
-			_, v := re.moments(x)
+			_, v := re.moments(S, x)
 			return sign * math.Sqrt(v)
 		},
 		Grad: func(x []float64, g []float64) {
-			_, v := re.moments(x)
+			_, v := re.moments(S, x)
 			sigma := math.Max(math.Sqrt(v), sigmaFloor)
-			re.gradMoments(x, g, 0, sign/(2*sigma))
+			re.gradMoments(S, x, g, 0, sign/(2*sigma))
 		},
 	}
 }
@@ -97,7 +103,7 @@ func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	if n == 0 {
 		return nil, nil, fmt.Errorf("sizing: circuit has no gates")
 	}
-	re := &reducedEval{m: m, gates: gates, S: m.UnitSizes(), workers: spec.Workers}
+	re := &reducedEval{m: m, gates: gates, workers: spec.Workers}
 
 	vars := make([]int, n)
 	lower := make([]float64, n)
@@ -164,6 +170,9 @@ func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	opt := spec.Solver
 	if opt.Method == nlp.NewtonCG {
 		return nil, nil, fmt.Errorf("sizing: the reduced formulation has no element Hessians; use LBFGS or the full-space formulation")
+	}
+	if opt.Workers == 0 {
+		opt.Workers = spec.Workers
 	}
 
 	res, err := nlp.Solve(p, x0, opt)

@@ -218,9 +218,12 @@ type Spec struct {
 	// Weights holds per-gate objective weights (indexed by NodeID)
 	// for ObjWeightedArea; see internal/power for power weights.
 	Weights []float64
-	// Workers bounds the parallelism of the SSTA sweeps inside the
-	// solver loop: <= 0 uses one worker per CPU, 1 forces the serial
-	// sweep. Results are bit-identical for every worker count.
+	// Workers bounds the parallelism of the heavy kernels inside the
+	// solver loop — the SSTA forward/adjoint sweeps and the NLP
+	// element evaluation engine (nlp.Options.Workers, unless
+	// Solver.Workers is set explicitly): <= 0 uses one worker per CPU,
+	// 1 forces serial execution. Results are bit-identical for every
+	// worker count.
 	Workers int
 }
 
