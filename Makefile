@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench check trace
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,15 @@ bench:
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race
+
+# trace runs a sized solve with the JSONL telemetry trace enabled and
+# schema-validates the result — the end-to-end smoke test of the
+# observability layer. The serial and parallel traces must be
+# byte-identical (the determinism contract of internal/telemetry).
+trace:
+	$(GO) run ./cmd/statsize -circuit tree7 -objective area \
+		-constraint "mu+3sigma<=8" -trace /tmp/statsize-j1.jsonl -metrics -j 1
+	$(GO) run ./cmd/statsize -circuit tree7 -objective area \
+		-constraint "mu+3sigma<=8" -trace /tmp/statsize-j4.jsonl -j 4 >/dev/null
+	cmp /tmp/statsize-j1.jsonl /tmp/statsize-j4.jsonl
+	$(GO) run ./cmd/tables -checktrace /tmp/statsize-j1.jsonl

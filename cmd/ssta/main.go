@@ -21,6 +21,7 @@ import (
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
 	"repro/internal/ssta"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +33,44 @@ func main() {
 		seed        = flag.Int64("seed", 1, "Monte Carlo seed")
 		canonical   = flag.Bool("canonical", false, "also run the correlation-aware canonical sweep")
 		workers     = flag.Int("j", 0, "worker goroutines for the SSTA sweep and Monte Carlo (0 = all CPUs, 1 = serial; results are identical for any value)")
+		traceFile   = flag.String("trace", "", "write a JSONL analysis trace to this file (byte-identical for every -j)")
+		metricsFlag = flag.Bool("metrics", false, "print the telemetry metrics summary table after the run")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Parse()
+
+	var sinks []telemetry.Recorder
+	var trace *telemetry.TraceWriter
+	if *traceFile != "" {
+		var err error
+		if trace, err = telemetry.CreateTrace(*traceFile); err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, trace)
+	}
+	var metrics *telemetry.Metrics
+	if *metricsFlag || *pprofAddr != "" {
+		metrics = telemetry.NewMetrics()
+		metrics.Publish("ssta")
+		sinks = append(sinks, metrics)
+	}
+	rec := telemetry.Multi(sinks...)
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ssta: debug server at http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
+	}
+	var stopCPU func() error
+	if *cpuProfile != "" {
+		var err error
+		if stopCPU, err = telemetry.StartCPUProfile(*cpuProfile); err != nil {
+			fatal(err)
+		}
+	}
 
 	circ, lib, err := loadCircuit(*circuitFlag)
 	if err != nil {
@@ -55,7 +92,14 @@ func main() {
 		circ.Name, stats.Gates, stats.Inputs, stats.Outputs, stats.Depth)
 
 	det := ssta.DetAnalyze(m, S)
-	r := ssta.AnalyzeWorkers(m, S, false, *workers)
+	r := ssta.AnalyzeWorkersRec(m, S, false, *workers, rec)
+	if rec != nil {
+		rec.Event("ssta", "result",
+			telemetry.F("det_tmax", det.Tmax),
+			telemetry.F("mu", r.Tmax.Mu),
+			telemetry.F("sigma", r.Tmax.Sigma()),
+		)
+	}
 	fmt.Printf("deterministic Tmax: %.4f\n", det.Tmax)
 	fmt.Printf("statistical Tmax:   mu = %.4f  sigma = %.4f\n", r.Tmax.Mu, r.Tmax.Sigma())
 	if *canonical {
@@ -99,9 +143,21 @@ func main() {
 	if *mcSamples > 0 {
 		cmp, err := montecarlo.CompareAnalytic(m, S, r.Tmax, montecarlo.Options{
 			Samples: *mcSamples, Seed: *seed, KeepSamples: true, Workers: *workers,
+			Recorder: rec,
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if rec != nil {
+			// Sharded sampling is bit-identical for every worker count,
+			// so the moments are safe to trace.
+			rec.Event("mc", "result",
+				telemetry.I("samples", *mcSamples),
+				telemetry.F("mu", cmp.MC.Mu),
+				telemetry.F("sigma", cmp.MC.Sigma),
+				telemetry.F("mu_err", cmp.MuErr),
+				telemetry.F("sigma_err", cmp.SigmaErr),
+			)
 		}
 		fmt.Printf("monte carlo (%d samples): mu = %.4f  sigma = %.4f\n",
 			*mcSamples, cmp.MC.Mu, cmp.MC.Sigma)
@@ -112,6 +168,28 @@ func main() {
 			100*cmp.MC.Yield(r.Tmax.Mu),
 			100*cmp.MC.Yield(r.Tmax.Mu+r.Tmax.Sigma()),
 			100*cmp.MC.Yield(r.Tmax.Mu+3*r.Tmax.Sigma()))
+	}
+
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsFlag {
+		fmt.Println("metrics:")
+		if err := metrics.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"repro/internal/nlp"
 	"repro/internal/sizing"
 	"repro/internal/ssta"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,11 +40,52 @@ func main() {
 		sigmaK        = flag.Float64("sigmak", 0.25, "sigma model: sigma_t = sigmak * mu_t")
 		limit         = flag.Float64("limit", 3, "maximum speed factor")
 		showSizes     = flag.Bool("sizes", false, "print per-gate speed factors")
-		verbose       = flag.Bool("v", false, "log solver progress")
+		verbose       = flag.Bool("v", false, "log solver progress (the telemetry event stream, rendered as text)")
 		workers       = flag.Int("j", 0, "worker goroutines for the SSTA sweeps and the NLP element evaluation engine (0 = all CPUs, 1 = serial; results are identical for any value)")
+		traceFile     = flag.String("trace", "", "write a JSONL solver trace to this file (byte-identical for every -j)")
+		metricsFlag   = flag.Bool("metrics", false, "print the telemetry metrics summary table after the run")
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	flag.Var(&constraints, "constraint", `timing constraint, repeatable: "mu<=120", "mu+3sigma<=120", "mu=6.5"`)
 	flag.Parse()
+
+	// Assemble the telemetry pipeline: every enabled sink consumes the
+	// same event stream, so -v, -trace and -metrics cannot disagree.
+	var sinks []telemetry.Recorder
+	if *verbose {
+		sinks = append(sinks, telemetry.NewLogSink(os.Stderr))
+	}
+	var trace *telemetry.TraceWriter
+	if *traceFile != "" {
+		var err error
+		if trace, err = telemetry.CreateTrace(*traceFile); err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, trace)
+	}
+	var metrics *telemetry.Metrics
+	if *metricsFlag || *pprofAddr != "" {
+		metrics = telemetry.NewMetrics()
+		metrics.Publish("statsize")
+		sinks = append(sinks, metrics)
+	}
+	rec := telemetry.Multi(sinks...)
+	if *pprofAddr != "" {
+		addr, err := telemetry.ServeDebug(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "statsize: debug server at http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
+	}
+	var stopCPU func() error
+	if *cpuProfile != "" {
+		var err error
+		if stopCPU, err = telemetry.StartCPUProfile(*cpuProfile); err != nil {
+			fatal(err)
+		}
+	}
 
 	circ, lib, err := loadCircuit(*circuitFlag)
 	if err != nil {
@@ -88,13 +130,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown solver %q", *solver))
 	}
-	if *verbose {
-		spec.Solver.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
+	spec.Recorder = rec
 
-	unit := ssta.AnalyzeWorkers(m, m.UnitSizes(), false, *workers).Tmax
+	unit := ssta.AnalyzeWorkersRec(m, m.UnitSizes(), false, *workers, rec).Tmax
 	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n",
 		circ.Name, circ.NumGates(), circ.NumInputs(), len(circ.Outputs))
 	fmt.Printf("unsized:   mu = %.4f  sigma = %.4f  sum(Si) = %d\n",
@@ -114,6 +152,10 @@ func main() {
 	fmt.Printf("solver:    %v in %v (%d outer, %d inner, violation %.2g)\n",
 		out.Solver.Status, out.Runtime.Round(time.Millisecond),
 		out.Solver.Outer, out.Solver.Inner, out.Solver.MaxViolation)
+	fmt.Printf("timing:    setup %v  inner %v  solve %v\n",
+		out.Solver.SetupTime.Round(time.Microsecond),
+		out.Solver.InnerTime.Round(time.Microsecond),
+		out.Solver.Duration.Round(time.Microsecond))
 
 	if *showSizes {
 		type gs struct {
@@ -128,6 +170,31 @@ func main() {
 		fmt.Println("speed factors:")
 		for _, e := range list {
 			fmt.Printf("  %-12s %.4f\n", e.name, e.s)
+		}
+	}
+
+	// Drain the telemetry sinks in a fixed order: trace flushed first
+	// (so `make trace` can validate it), then the metrics table, then
+	// the runtime profiles.
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsFlag {
+		fmt.Println("metrics:")
+		if err := metrics.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if stopCPU != nil {
+		if err := stopCPU(); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+			fatal(err)
 		}
 	}
 }

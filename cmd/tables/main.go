@@ -1,29 +1,41 @@
 // Command tables regenerates the paper's evaluation artifacts: Table 1
 // (benchmark sizing formulations), Table 2 (tree objectives), Table 3
-// (tree speed factors) and the section 4 timing-yield experiment.
+// (tree speed factors) and the section 4 timing-yield experiment. It
+// also validates JSONL telemetry traces written by statsize/ssta.
 //
 // Usage:
 //
 //	tables                 # everything (Table 1 takes ~30 s)
 //	tables -table 2        # just Table 2
 //	tables -table yield -samples 500000
+//	tables -checktrace trace.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | all")
-		samples = flag.Int("samples", 200000, "Monte Carlo samples for the yield table")
-		verbose = flag.Bool("v", false, "log per-run solver progress for Table 1")
+		table      = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | all")
+		samples    = flag.Int("samples", 200000, "Monte Carlo samples for the yield table")
+		verbose    = flag.Bool("v", false, "log per-run solver progress for Table 1")
+		checkTrace = flag.String("checktrace", "", "validate a JSONL telemetry trace and print an event census instead of running tables")
 	)
 	flag.Parse()
+
+	if *checkTrace != "" {
+		if err := runCheckTrace(*checkTrace); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var logf func(string, ...any)
 	if *verbose {
@@ -93,4 +105,49 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tables:", err)
 	os.Exit(1)
+}
+
+// runCheckTrace parses and schema-validates a JSONL telemetry trace,
+// then prints a census of the event stream and the final convergence
+// state — the sanity check behind `make trace`.
+func runCheckTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ParseTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := telemetry.ValidateTrace(events); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	census := map[string]int{}
+	var lastOuter *telemetry.TraceEvent
+	for i := range events {
+		ev := &events[i]
+		census[ev.Scope+"."+ev.Name]++
+		if ev.Scope == "alm" && ev.Name == "outer" {
+			lastOuter = ev
+		}
+	}
+	fmt.Printf("%s: %d events, schema ok\n", path, len(events))
+	kinds := make([]string, 0, len(census))
+	for k := range census {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-16s %d\n", k, census[k])
+	}
+	if lastOuter != nil {
+		merit, _ := lastOuter.Get("merit")
+		kkt, _ := lastOuter.Get("kkt")
+		viol, _ := lastOuter.Get("viol")
+		iter, _ := lastOuter.Get("iter")
+		fmt.Printf("final alm.outer: iter=%g merit=%g kkt=%g viol=%g\n", iter, merit, kkt, viol)
+	}
+	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/netlist"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Monte Carlo run.
@@ -43,6 +44,11 @@ type Options struct {
 	// substream generators derived from Seed, so the result is
 	// bit-identical for every worker count.
 	Workers int
+	// Recorder, when non-nil, receives aggregate run telemetry: the
+	// "mc.run" span, one "mc.shard" span per sample block (count and
+	// busy time, exposing shard balance), the sample counter and the
+	// shard-grid gauge. A nil Recorder costs one branch.
+	Recorder telemetry.Recorder
 }
 
 // Result summarizes a Monte Carlo timing run.
@@ -100,11 +106,17 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 		gateSigma[id] = mv.Sigma()
 	}
 
+	rec := opt.Recorder
+	tRun := telemetry.StartSpan(rec)
 	nShards := (opt.Samples + shardSamples - 1) / shardSamples
 	shards := make([]shardMoments, nShards)
 	// runShard draws shard i's block of samples into shards[i] using
-	// the caller's scratch arrival array.
+	// the caller's scratch arrival array. With a recorder attached each
+	// block's busy time folds into the "mc.shard" span (workers record
+	// concurrently; the metrics cells are atomic).
 	runShard := func(arr []float64, i int) {
+		t0 := telemetry.StartSpan(rec)
+		defer telemetry.EndSpan(rec, "mc.shard", t0)
 		rng := rand.New(rand.NewSource(shardSeed(opt.Seed, i)))
 		count := min(shardSamples, opt.Samples-i*shardSamples)
 		sm := &shards[i]
@@ -204,6 +216,11 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 		// Sample (Bessel) divisor: unbiased variance estimate for
 		// small-sample comparison against the analytic sigma.
 		sigma = sqrt(m2 / float64(tot-1))
+	}
+	if rec != nil {
+		rec.Count("mc.samples", int64(opt.Samples))
+		rec.Gauge("mc.shards", float64(nShards))
+		telemetry.EndSpan(rec, "mc.run", tRun)
 	}
 	r := &Result{Mu: mean, Sigma: sigma}
 	if opt.KeepSamples {

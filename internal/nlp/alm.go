@@ -3,6 +3,9 @@ package nlp
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Method selects the inner bound-constrained minimizer.
@@ -63,6 +66,15 @@ type Options struct {
 	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Recorder, when non-nil, receives solver telemetry: one "alm.outer"
+	// event per outer iteration (merit, KKT residual, constraint
+	// violation, penalty, step norm), one "lbfgs.iter" / "newton.iter"
+	// event per inner iteration, and the engine's evaluation counters
+	// and dispatch timings at the end of the solve. Event content is
+	// deterministic: traces are byte-identical for every Workers value.
+	// A nil Recorder costs one branch and zero allocations per
+	// instrumentation point.
+	Recorder telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +156,13 @@ type Result struct {
 	// counters were split; they are deliberately *not* part of
 	// FuncEvals, which would overstate the merit cost.
 	ObjEvals int
+	// Duration is the total Solve wall time; SetupTime covers
+	// validation plus engine/arena construction, InnerTime the time
+	// spent inside the inner minimizations. The remainder is the outer
+	// loop's own bookkeeping (multiplier updates, telemetry). These are
+	// wall-clock measurements and, unlike every other Result field, are
+	// not deterministic across runs.
+	Duration, SetupTime, InnerTime time.Duration
 }
 
 // almState carries the augmented-Lagrangian data shared between the
@@ -159,9 +178,13 @@ type almState struct {
 	cIneq    []float64
 	fnEvals  int
 	objEvals int
+	// rec is the telemetry sink (nil = disabled); outer is the current
+	// outer iteration (1-based), tagged onto inner-solver events.
+	rec   telemetry.Recorder
+	outer int
 }
 
-func newALMState(p *Problem, rho float64, workers int) *almState {
+func newALMState(p *Problem, rho float64, workers int, rec telemetry.Recorder) *almState {
 	s := &almState{
 		p:       p,
 		rho:     rho,
@@ -169,6 +192,7 @@ func newALMState(p *Problem, rho float64, workers int) *almState {
 		lamIneq: make([]float64, len(p.IneqCons)),
 		cEq:     make([]float64, len(p.EqCons)),
 		cIneq:   make([]float64, len(p.IneqCons)),
+		rec:     rec,
 	}
 	s.eng = newEngine(p, s, workers)
 	return s
@@ -287,6 +311,7 @@ func projGradNorm(p *Problem, x, grad []float64) float64 {
 
 // Solve runs the augmented-Lagrangian method from x0.
 func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
+	t0 := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -301,9 +326,16 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	x := append([]float64(nil), x0...)
 	p.project(x)
 
-	st := newALMState(p, opt.RhoInit, opt.Workers)
+	st := newALMState(p, opt.RhoInit, opt.Workers, opt.Recorder)
 	defer st.eng.close()
 	res := &Result{}
+	rec := opt.Recorder
+	// xPrev backs the per-outer step norm; allocated only when someone
+	// is listening.
+	var xPrev []float64
+	if rec != nil || opt.Logf != nil {
+		xPrev = make([]float64, len(x))
+	}
 
 	constrained := len(p.EqCons)+len(p.IneqCons) > 0
 	// LANCELOT-style tolerance schedule.
@@ -323,20 +355,52 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("nlp: unknown method %v", opt.Method)
 	}
 
+	res.SetupTime = time.Since(t0)
 	for outer := 0; outer < opt.MaxOuter; outer++ {
 		res.Outer = outer + 1
+		st.outer = outer + 1
+		if xPrev != nil {
+			copy(xPrev, x)
+		}
 		tol := math.Max(omega, opt.TolGrad)
+		tInner := time.Now()
 		iters, pg := inner.minimize(x, tol)
+		res.InnerTime += time.Since(tInner)
 		res.Inner += iters
 		res.ProjGradNorm = pg
 
 		// Refresh constraint caches at the solution point.
-		st.merit(x, nil)
+		phi := st.merit(x, nil)
 		viol := st.violation()
 		res.MaxViolation = viol
-		if opt.Logf != nil {
-			opt.Logf("outer %d: rho=%.3g viol=%.3g pg=%.3g f=%.8g",
-				outer+1, st.rho, viol, pg, st.objective(x))
+		if xPrev != nil {
+			// One emission point feeds the JSONL trace, the metrics
+			// census and the -v verbose log alike; every field is
+			// deterministic under the engine's bit-identical-parallelism
+			// contract.
+			f := st.objective(x)
+			var step float64
+			for i := range x {
+				d := x[i] - xPrev[i]
+				step += d * d
+			}
+			step = math.Sqrt(step)
+			if rec != nil {
+				rec.Event("alm", "outer",
+					telemetry.I("iter", outer+1),
+					telemetry.F("merit", phi),
+					telemetry.F("kkt", pg),
+					telemetry.F("viol", viol),
+					telemetry.F("rho", st.rho),
+					telemetry.F("step", step),
+					telemetry.I("inner", iters),
+					telemetry.F("f", f),
+				)
+			}
+			if opt.Logf != nil {
+				opt.Logf("outer %d: rho=%.3g viol=%.3g pg=%.3g f=%.8g",
+					outer+1, st.rho, viol, pg, f)
+			}
 		}
 
 		if !constrained {
@@ -379,5 +443,21 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	res.LambdaIneq = st.lamIneq
 	res.FuncEvals = st.fnEvals
 	res.ObjEvals = st.objEvals
+	res.Duration = time.Since(t0)
+	if rec != nil {
+		rec.Event("alm", "done",
+			telemetry.I("status", int(res.Status)),
+			telemetry.I("outer", res.Outer),
+			telemetry.I("inner", res.Inner),
+			telemetry.F("f", res.F),
+			telemetry.F("kkt", res.ProjGradNorm),
+			telemetry.F("viol", res.MaxViolation),
+			telemetry.I("fn_evals", res.FuncEvals),
+			telemetry.I("obj_evals", res.ObjEvals),
+		)
+		st.eng.publish(rec)
+		rec.Span("nlp.solve", res.Duration)
+		rec.Span("nlp.inner", res.InnerTime)
+	}
 	return res, nil
 }

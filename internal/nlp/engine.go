@@ -1,8 +1,12 @@
 package nlp
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file implements the partial-separability evaluation engine: the
@@ -62,7 +66,11 @@ const (
 	modeGrad                        // Grad elements with weight != 0 into slabG
 	modeHessCache                   // rebuild the second-order cache at e.x
 	modeHessVec                     // per-element H*v contributions into slabHV
+	numModes
 )
+
+// modeNames label the dispatch modes in telemetry output.
+var modeNames = [numModes]string{"merit", "obj", "grad", "hess_cache", "hess_vec"}
 
 // elemRef is the engine's handle on one element: its identity, its
 // arena offsets, and the per-call outputs of the compute phase. Each
@@ -124,6 +132,20 @@ type engine struct {
 	workCh chan int
 	wg     sync.WaitGroup
 	closed bool
+
+	// Telemetry. nDispatch counts dispatches per mode (plain ints,
+	// always maintained — an increment is cheaper than a branch worth
+	// guarding). The timing accumulators run only when rec is non-nil:
+	// modeNS is the coordinator's wall time per mode, chunkNS[c] the
+	// busy time of chunk c (each chunk is owned by exactly one worker
+	// per dispatch and dispatches are separated by the pool barrier, so
+	// the slots need no synchronization; the barrier's happens-before
+	// makes them readable by publish). Everything here is metrics data —
+	// none of it enters the deterministic event stream.
+	rec       telemetry.Recorder
+	nDispatch [numModes]int64
+	modeNS    [numModes]int64
+	chunkNS   []int64
 }
 
 // resolveWorkers maps the module-wide Workers convention onto a
@@ -144,6 +166,7 @@ func newEngine(p *Problem, st *almState, workers int) *engine {
 		st:   st,
 		refs: make([]elemRef, 0, nEl),
 		nObj: len(p.Objective),
+		rec:  st.rec,
 	}
 	sumN, sumH := 0, 0
 	add := func(el *Element, kind elemKind, ci int) {
@@ -196,6 +219,7 @@ func newEngine(p *Problem, st *almState, workers int) *engine {
 		// The buffered channel lets the coordinator publish every chunk
 		// without blocking even under GOMAXPROCS=1.
 		e.workCh = make(chan int, len(e.chunks))
+		e.chunkNS = make([]int64, len(e.chunks))
 		for c := 1; c < len(e.chunks); c++ {
 			go e.worker()
 		}
@@ -206,7 +230,13 @@ func newEngine(p *Problem, st *almState, workers int) *engine {
 // worker drains chunk indices until close() shuts the channel.
 func (e *engine) worker() {
 	for c := range e.workCh {
-		e.runChunk(e.chunks[c][0], e.chunks[c][1])
+		if e.rec != nil {
+			t0 := time.Now()
+			e.runChunk(e.chunks[c][0], e.chunks[c][1])
+			e.chunkNS[c] += time.Since(t0).Nanoseconds()
+		} else {
+			e.runChunk(e.chunks[c][0], e.chunks[c][1])
+		}
 		e.wg.Done()
 	}
 }
@@ -222,20 +252,60 @@ func (e *engine) close() {
 }
 
 // dispatch runs one compute phase over every element and returns after
-// the barrier: all per-element outputs are final. Allocation-free.
+// the barrier: all per-element outputs are final. Allocation-free,
+// with or without a recorder; with one, the only extra hot-path work
+// is the clock reads bracketing the phase.
 func (e *engine) dispatch(mode engineMode) {
 	e.mode = mode
+	e.nDispatch[mode]++
+	var start time.Time
+	if e.rec != nil {
+		start = time.Now()
+	}
 	if e.chunks == nil {
 		e.runChunk(0, len(e.refs))
-		return
+	} else {
+		nc := len(e.chunks)
+		e.wg.Add(nc - 1)
+		for c := 1; c < nc; c++ {
+			e.workCh <- c
+		}
+		if e.rec != nil {
+			t0 := time.Now()
+			e.runChunk(e.chunks[0][0], e.chunks[0][1])
+			e.chunkNS[0] += time.Since(t0).Nanoseconds()
+		} else {
+			e.runChunk(e.chunks[0][0], e.chunks[0][1])
+		}
+		e.wg.Wait()
 	}
-	nc := len(e.chunks)
-	e.wg.Add(nc - 1)
-	for c := 1; c < nc; c++ {
-		e.workCh <- c
+	if e.rec != nil {
+		e.modeNS[mode] += time.Since(start).Nanoseconds()
 	}
-	e.runChunk(e.chunks[0][0], e.chunks[0][1])
-	e.wg.Wait()
+}
+
+// publish pushes the accumulated evaluation counters and dispatch
+// timings into rec; Solve calls it once at the end of a run, so the
+// lazy metric-cell creation and name formatting below never touch the
+// solver hot path.
+func (e *engine) publish(rec telemetry.Recorder) {
+	rec.Count("engine.merit_evals", e.nDispatch[modeEval])
+	rec.Count("engine.obj_evals", e.nDispatch[modeObjEval])
+	rec.Count("engine.grad_evals", e.nDispatch[modeGrad])
+	rec.Count("engine.hess_cache_builds", e.nDispatch[modeHessCache])
+	rec.Count("engine.hessvec_evals", e.nDispatch[modeHessVec])
+	rec.Gauge("engine.elements", float64(len(e.refs)))
+	rec.Gauge("engine.chunks", float64(len(e.chunks)))
+	for m, ns := range e.modeNS {
+		if ns > 0 {
+			rec.Span("engine.dispatch."+modeNames[m], time.Duration(ns))
+		}
+	}
+	for c, ns := range e.chunkNS {
+		if ns > 0 {
+			rec.Span(fmt.Sprintf("engine.chunk%02d", c), time.Duration(ns))
+		}
+	}
 }
 
 // runChunk executes the current mode for refs[lo:hi]. Every write

@@ -81,7 +81,7 @@ func testPoint(n int, phase float64) []float64 {
 // newTestState builds an almState with non-trivial multipliers so the
 // merit fold exercises every weight path.
 func newTestState(p *Problem, workers int) *almState {
-	st := newALMState(p, 37.5, workers)
+	st := newALMState(p, 37.5, workers, nil)
 	for i := range st.lamEq {
 		st.lamEq[i] = 0.3 * float64(i%5)
 	}

@@ -1,6 +1,10 @@
 package nlp
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/telemetry"
+)
 
 // innerSolver minimizes the augmented Lagrangian over the bound box,
 // starting from (and updating) x, until the projected gradient drops
@@ -182,6 +186,15 @@ func (sl *lbfgsSolver) minimize(x []float64, tol float64) (int, float64) {
 		copy(sl.grad, sl.gNew)
 		phi = phiNew
 		pg = projGradNorm(sl.p, x, sl.grad)
+		if st.rec != nil {
+			st.rec.Event("lbfgs", "iter",
+				telemetry.I("outer", st.outer),
+				telemetry.I("iter", iters+1),
+				telemetry.F("phi", phi),
+				telemetry.F("pg", pg),
+				telemetry.I("hist", sl.histLen),
+			)
+		}
 	}
 	return iters, pg
 }

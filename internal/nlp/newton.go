@@ -1,6 +1,10 @@
 package nlp
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/telemetry"
+)
 
 // newtonSolver is a truncated Newton conjugate-gradient inner solver:
 // at each iteration the Hessian of the augmented Lagrangian is
@@ -146,6 +150,16 @@ func (ns *newtonSolver) minimize(x []float64, tol float64) (int, float64) {
 					radius *= 1.5
 				}
 				progressed = true
+				if st.rec != nil {
+					st.rec.Event("newton", "iter",
+						telemetry.I("outer", st.outer),
+						telemetry.I("iter", iters+1),
+						telemetry.F("phi", phi),
+						telemetry.F("pg", pg),
+						telemetry.F("radius", radius),
+						telemetry.I("attempts", attempt+1),
+					)
+				}
 				break
 			}
 			radius *= 0.25

@@ -432,6 +432,9 @@ func solveFullSpace(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 		// (an explicitly set Solver.Workers wins).
 		opt.Workers = spec.Workers
 	}
+	if opt.Recorder == nil {
+		opt.Recorder = spec.Recorder
+	}
 	res, err := nlp.Solve(p, x0, opt)
 	if err != nil {
 		return nil, nil, err

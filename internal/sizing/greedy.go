@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/delay"
 	"repro/internal/ssta"
+	"repro/internal/telemetry"
 )
 
 // SizeGreedy is a TILOS-style sensitivity heuristic (Fishburn &
@@ -28,6 +29,10 @@ type GreedyOptions struct {
 	// Workers bounds the parallelism of the SSTA sweeps: <= 0 uses
 	// one worker per CPU, 1 forces the serial sweep.
 	Workers int
+	// Recorder, when non-nil, receives one deterministic "greedy.step"
+	// event per sensitivity step, a final "greedy.result" event, and
+	// the SSTA sweep spans. Nil disables instrumentation at zero cost.
+	Recorder telemetry.Recorder
 }
 
 // GreedyResult reports the heuristic sizing.
@@ -59,8 +64,15 @@ func SizeGreedy(m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
 
 	S := m.UnitSizes()
 	res := &GreedyResult{}
+	rec := opt.Recorder
 	for ; res.Steps < opt.MaxSteps; res.Steps++ {
-		phi, grad := ssta.GradMuPlusKSigmaWorkers(m, S, opt.K, opt.Workers)
+		phi, grad := ssta.GradMuPlusKSigmaWorkersRec(m, S, opt.K, opt.Workers, rec)
+		if rec != nil {
+			rec.Event("greedy", "step",
+				telemetry.I("step", res.Steps),
+				telemetry.F("phi", phi),
+			)
+		}
 		if phi <= opt.Deadline {
 			res.Met = true
 			break
@@ -96,5 +108,18 @@ func SizeGreedy(m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
 	res.SigmaTmax = r.Tmax.Sigma()
 	res.SumS = m.SumSizes(S)
 	res.Met = res.Met || res.MuTmax+opt.K*res.SigmaTmax <= opt.Deadline
+	if rec != nil {
+		met := 0.0
+		if res.Met {
+			met = 1
+		}
+		rec.Event("greedy", "result",
+			telemetry.I("steps", res.Steps),
+			telemetry.F("mu", res.MuTmax),
+			telemetry.F("sigma", res.SigmaTmax),
+			telemetry.F("area", res.SumS),
+			telemetry.F("met", met),
+		)
+	}
 	return res, nil
 }

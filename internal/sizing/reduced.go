@@ -8,6 +8,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/nlp"
 	"repro/internal/ssta"
+	"repro/internal/telemetry"
 )
 
 // reducedEval adapts the SSTA forward/adjoint sweeps to nlp.Element
@@ -21,6 +22,10 @@ type reducedEval struct {
 	m       *delay.Model
 	gates   []netlist.NodeID
 	workers int
+	// rec aggregates sweep spans ("ssta.forward"/"ssta.adjoint"); the
+	// metrics sinks are concurrency-safe, so recording stays correct
+	// when the NLP engine evaluates distinct elements in parallel.
+	rec telemetry.Recorder
 }
 
 func (re *reducedEval) setS(S, x []float64) {
@@ -33,7 +38,7 @@ func (re *reducedEval) setS(S, x []float64) {
 // caller-owned S scratch.
 func (re *reducedEval) moments(S, x []float64) (mu, variance float64) {
 	re.setS(S, x)
-	r := ssta.AnalyzeWorkers(re.m, S, false, re.workers)
+	r := ssta.AnalyzeWorkersRec(re.m, S, false, re.workers, re.rec)
 	return r.Tmax.Mu, r.Tmax.Var
 }
 
@@ -41,8 +46,8 @@ func (re *reducedEval) moments(S, x []float64) (mu, variance float64) {
 // scattering the result into the dense gradient g.
 func (re *reducedEval) gradMoments(S, x, g []float64, seedMu, seedVar float64) {
 	re.setS(S, x)
-	r := ssta.AnalyzeWorkers(re.m, S, true, re.workers)
-	full := r.BackwardWorkers(re.m, S, seedMu, seedVar, re.workers)
+	r := ssta.AnalyzeWorkersRec(re.m, S, true, re.workers, re.rec)
+	full := r.BackwardWorkersRec(re.m, S, seedMu, seedVar, re.workers, re.rec)
 	for i, id := range re.gates {
 		g[i] = full[id]
 	}
@@ -103,7 +108,7 @@ func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	if n == 0 {
 		return nil, nil, fmt.Errorf("sizing: circuit has no gates")
 	}
-	re := &reducedEval{m: m, gates: gates, workers: spec.Workers}
+	re := &reducedEval{m: m, gates: gates, workers: spec.Workers, rec: spec.Recorder}
 
 	vars := make([]int, n)
 	lower := make([]float64, n)
@@ -173,6 +178,9 @@ func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	}
 	if opt.Workers == 0 {
 		opt.Workers = spec.Workers
+	}
+	if opt.Recorder == nil {
+		opt.Recorder = spec.Recorder
 	}
 
 	res, err := nlp.Solve(p, x0, opt)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/nlp"
 	"repro/internal/ssta"
+	"repro/internal/telemetry"
 )
 
 // ObjectiveKind enumerates the paper's objective families.
@@ -225,6 +226,12 @@ type Spec struct {
 	// 1 forces serial execution. Results are bit-identical for every
 	// worker count.
 	Workers int
+	// Recorder, when non-nil, receives run telemetry: the NLP solver's
+	// iteration events and engine counters (threaded through as
+	// nlp.Options.Recorder unless Solver.Recorder is set explicitly),
+	// the SSTA sweep spans of the reduced formulation, and a final
+	// "sizing.result" event. Nil disables instrumentation at zero cost.
+	Recorder telemetry.Recorder
 }
 
 // Outcome reports a sizing run in the units of the paper's tables.
@@ -279,12 +286,24 @@ func Size(m *delay.Model, spec Spec) (*Outcome, error) {
 	}
 	m.ClampSizes(S)
 	r := ssta.AnalyzeWorkers(m, S, false, spec.Workers)
-	return &Outcome{
+	out := &Outcome{
 		S:         S,
 		MuTmax:    r.Tmax.Mu,
 		SigmaTmax: r.Tmax.Sigma(),
 		SumS:      m.SumSizes(S),
 		Solver:    res,
 		Runtime:   time.Since(start),
-	}, nil
+	}
+	if rec := spec.Recorder; rec != nil {
+		rec.Event("sizing", "result",
+			telemetry.F("mu", out.MuTmax),
+			telemetry.F("sigma", out.SigmaTmax),
+			telemetry.F("area", out.SumS),
+			telemetry.I("status", int(res.Status)),
+			telemetry.I("outer", res.Outer),
+			telemetry.I("inner", res.Inner),
+		)
+		rec.Span("sizing.total", out.Runtime)
+	}
+	return out, nil
 }

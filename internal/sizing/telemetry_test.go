@@ -1,0 +1,120 @@
+package sizing
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/nlp"
+	"repro/internal/telemetry"
+)
+
+// sizeTrace runs one full sizing solve with a JSONL trace attached and
+// returns the trace bytes together with the outcome.
+func sizeTrace(t *testing.T, spec Spec, workers int) ([]byte, *Outcome) {
+	t.Helper()
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	var buf bytes.Buffer
+	w := telemetry.NewTraceWriter(&buf)
+	spec.Workers = workers
+	spec.Recorder = w
+	out, err := Size(m, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), out
+}
+
+// TestSizeTraceDeterministic is the end-to-end acceptance check of the
+// telemetry layer: sizing tree7 under a binding timing constraint
+// emits one alm.outer event per outer iteration carrying the merit,
+// KKT residual and constraint violation, and the whole JSONL stream is
+// byte-identical for serial and parallel runs.
+func TestSizeTraceDeterministic(t *testing.T) {
+	spec := Spec{
+		Objective:   MinArea(),
+		Constraints: []Constraint{DelayLE(3, 8)},
+		Formulation: Reduced,
+		Solver:      nlp.Options{Method: nlp.LBFGS},
+	}
+	serial, out := sizeTrace(t, spec, 1)
+	parallel, _ := sizeTrace(t, spec, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace differs between workers=1 and workers=4:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+
+	events, err := telemetry.ParseTrace(bytes.NewReader(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTrace(events); err != nil {
+		t.Fatal(err)
+	}
+
+	outer := 0
+	sawSizing := false
+	for i := range events {
+		ev := &events[i]
+		switch ev.Scope + "." + ev.Name {
+		case "alm.outer":
+			outer++
+			for _, k := range []string{"merit", "kkt", "viol"} {
+				if _, ok := ev.Get(k); !ok {
+					t.Errorf("alm.outer event %d missing field %q", outer, k)
+				}
+			}
+		case "sizing.result":
+			sawSizing = true
+		}
+	}
+	if outer != out.Solver.Outer {
+		t.Errorf("trace has %d alm.outer events, solver reports %d outer iterations",
+			outer, out.Solver.Outer)
+	}
+	if outer == 0 {
+		t.Error("constraint never bound: no alm.outer events (tighten the deadline)")
+	}
+	if !sawSizing {
+		t.Error("trace has no sizing.result event")
+	}
+}
+
+// TestGreedyTraceDeterministic pins the greedy baseline's event stream
+// across worker counts.
+func TestGreedyTraceDeterministic(t *testing.T) {
+	run := func(workers int) []byte {
+		m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+		var buf bytes.Buffer
+		w := telemetry.NewTraceWriter(&buf)
+		if _, err := SizeGreedy(m, GreedyOptions{
+			K: 3, Deadline: 8, Workers: workers, Recorder: w,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := run(1), run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("greedy trace differs between workers=1 and workers=4:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+	events, err := telemetry.ParseTrace(bytes.NewReader(serial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTrace(events); err != nil {
+		t.Fatal(err)
+	}
+	last := events[len(events)-1]
+	if last.Scope != "greedy" || last.Name != "result" {
+		t.Errorf("last event is %s.%s, want greedy.result", last.Scope, last.Name)
+	}
+}

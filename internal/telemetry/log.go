@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LogSink renders events as human-readable lines — the verbose (-v)
+// output of the CLIs. It consumes the same event stream as the JSONL
+// trace, so verbose logging and traces cannot drift apart: one
+// emission point in the solver feeds both.
+//
+// Line format:
+//
+//	alm.outer iter=3 merit=12.5 kkt=0.0021 viol=0 rho=10
+type LogSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// NewLogSink returns a log sink writing to w (typically os.Stderr).
+func NewLogSink(w io.Writer) *LogSink {
+	return &LogSink{w: w}
+}
+
+// Event writes one formatted line.
+func (l *LogSink) Event(scope, name string, fields ...KV) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buf[:0]
+	b = append(b, scope...)
+	b = append(b, '.')
+	b = append(b, name...)
+	for _, f := range fields {
+		b = append(b, ' ')
+		b = append(b, f.Key...)
+		b = append(b, '=')
+		b = strconv.AppendFloat(b, f.Val, 'g', 6, 64)
+	}
+	b = append(b, '\n')
+	l.buf = b
+	l.w.Write(b)
+}
+
+// Count is a no-op; aggregate data is the metrics sink's job.
+func (l *LogSink) Count(string, int64) {}
+
+// Gauge is a no-op.
+func (l *LogSink) Gauge(string, float64) {}
+
+// Span is a no-op.
+func (l *LogSink) Span(string, time.Duration) {}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is the aggregate sink: counters, gauges and span timers
+// stored in expvar cells (atomic, cheap to bump from worker
+// goroutines). Events are not stored individually — each one bumps the
+// counter "event.<scope>.<event>", which makes the summary table a
+// compact census of the trace stream.
+//
+// A Metrics value implements expvar.Var; Publish exposes it in the
+// process-wide expvar namespace so the -pprof debug server serves the
+// live snapshot at /debug/vars.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*expvar.Int
+	gauges   map[string]*expvar.Float
+	spans    map[string]*spanVar
+}
+
+// spanVar aggregates one span name: invocation count and total
+// nanoseconds.
+type spanVar struct {
+	n  expvar.Int
+	ns expvar.Int
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*expvar.Int),
+		gauges:   make(map[string]*expvar.Float),
+		spans:    make(map[string]*spanVar),
+	}
+}
+
+func (m *Metrics) counter(name string) *expvar.Int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = new(expvar.Int)
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Event bumps the per-kind event counter.
+func (m *Metrics) Event(scope, name string, fields ...KV) {
+	m.counter("event." + scope + "." + name).Add(1)
+}
+
+// Count adds delta to the named counter.
+func (m *Metrics) Count(name string, delta int64) {
+	m.counter(name).Add(delta)
+}
+
+// Gauge sets the named gauge.
+func (m *Metrics) Gauge(name string, v float64) {
+	m.mu.Lock()
+	g := m.gauges[name]
+	if g == nil {
+		g = new(expvar.Float)
+		m.gauges[name] = g
+	}
+	m.mu.Unlock()
+	g.Set(v)
+}
+
+// Span folds one completed phase into the per-name timer.
+func (m *Metrics) Span(name string, d time.Duration) {
+	m.mu.Lock()
+	s := m.spans[name]
+	if s == nil {
+		s = new(spanVar)
+		m.spans[name] = s
+	}
+	m.mu.Unlock()
+	s.n.Add(1)
+	s.ns.Add(d.Nanoseconds())
+}
+
+// CounterValue returns the named counter's current value.
+func (m *Metrics) CounterValue(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.counters[name]; c != nil {
+		return c.Value()
+	}
+	return 0
+}
+
+// GaugeValue returns the named gauge's current value.
+func (m *Metrics) GaugeValue(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g := m.gauges[name]; g != nil {
+		return g.Value()
+	}
+	return 0
+}
+
+// SpanValue returns the named span's invocation count and total time.
+func (m *Metrics) SpanValue(name string) (count int64, total time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.spans[name]; s != nil {
+		return s.n.Value(), time.Duration(s.ns.Value())
+	}
+	return 0, 0
+}
+
+// String renders the snapshot as a JSON object, satisfying expvar.Var.
+func (m *Metrics) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := "{"
+	sep := ""
+	for _, name := range sortedKeys(m.counters) {
+		out += fmt.Sprintf("%s%q:%s", sep, name, m.counters[name].String())
+		sep = ","
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		out += fmt.Sprintf("%s%q:%s", sep, name, m.gauges[name].String())
+		sep = ","
+	}
+	for _, name := range sortedKeys(m.spans) {
+		s := m.spans[name]
+		out += fmt.Sprintf("%s%q:{\"count\":%s,\"ns\":%s}", sep, name, s.n.String(), s.ns.String())
+		sep = ","
+	}
+	return out + "}"
+}
+
+// Publish registers the snapshot under name in the process-wide expvar
+// namespace (and thus at the debug server's /debug/vars). Publishing
+// the same name twice panics, per expvar's contract; CLIs publish
+// exactly once.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, m)
+}
+
+// WriteSummary prints the snapshot as a sorted, aligned table:
+//
+//	counter  engine.merit_evals            412
+//	gauge    ssta.levels                   12
+//	span     ssta.forward                  n=824  total=1.204s  avg=1.46ms
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	width := 0
+	for _, set := range []([]string){sortedKeys(m.counters), sortedKeys(m.gauges), sortedKeys(m.spans)} {
+		for _, name := range set {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+	}
+	for _, name := range sortedKeys(m.counters) {
+		if _, err := fmt.Fprintf(w, "counter  %-*s  %d\n", width, name, m.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.gauges) {
+		if _, err := fmt.Fprintf(w, "gauge    %-*s  %g\n", width, name, m.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(m.spans) {
+		s := m.spans[name]
+		n, total := s.n.Value(), time.Duration(s.ns.Value())
+		avg := time.Duration(0)
+		if n > 0 {
+			avg = total / time.Duration(n)
+		}
+		if _, err := fmt.Fprintf(w, "span     %-*s  n=%d  total=%v  avg=%v\n", width, name, n, total, avg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,137 @@
+// Package telemetry is the module's instrumentation layer: a small
+// Recorder interface the solver and analysis kernels emit into, plus
+// the sinks the CLIs wire behind it (a deterministic JSONL trace
+// writer, an expvar-backed metrics aggregator, a human-readable log
+// sink, and runtime-profiling helpers).
+//
+// The layer is built around two contracts:
+//
+//   - Zero overhead when disabled. Every instrumented hot path guards
+//     its recorder with a nil check; a nil Recorder costs one branch
+//     and no allocations (pinned by AllocsPerRun regression tests in
+//     internal/nlp). The Noop recorder gives the same guarantee for
+//     callers that want a non-nil sink.
+//
+//   - Deterministic traces. Structured events (Recorder.Event) carry
+//     only values that are bit-identical for every worker count under
+//     the module's deterministic-parallelism contract, and they are
+//     emitted serially by the coordinating goroutine, so a JSONL trace
+//     is byte-for-byte identical for -j 1 and -j 64. Wall-clock data —
+//     spans, counters, gauges — is inherently nondeterministic and is
+//     therefore routed to the metrics sinks only, never into the event
+//     stream.
+package telemetry
+
+import "time"
+
+// KV is one key/value field of a structured event. Values are float64;
+// integers are exact up to 2^53, which covers every counter the module
+// emits.
+type KV struct {
+	Key string
+	Val float64
+}
+
+// F builds a KV from a float64.
+func F(key string, v float64) KV { return KV{Key: key, Val: v} }
+
+// I builds a KV from an int.
+func I(key string, v int) KV { return KV{Key: key, Val: float64(v)} }
+
+// Recorder receives telemetry. Implementations must be safe for
+// concurrent use: counters, gauges and spans may be recorded from
+// worker goroutines. Events, by convention, are emitted only by the
+// coordinating goroutine of a solve so their order is deterministic;
+// sinks still serialize internally and do not rely on it for safety.
+type Recorder interface {
+	// Event records one structured event. Callers must only pass
+	// fields whose values are deterministic (identical for every
+	// worker count); wall-clock data belongs in Span/Count/Gauge.
+	Event(scope, name string, fields ...KV)
+	// Count adds delta to the named monotonic counter.
+	Count(name string, delta int64)
+	// Gauge sets the named last-value gauge.
+	Gauge(name string, v float64)
+	// Span records one completed timed phase; sinks aggregate the
+	// count and total duration per name.
+	Span(name string, d time.Duration)
+}
+
+// noop discards everything. Its methods perform no allocations, so it
+// is interchangeable with a nil Recorder on hot paths.
+type noop struct{}
+
+func (noop) Event(string, string, ...KV) {}
+func (noop) Count(string, int64)         {}
+func (noop) Gauge(string, float64)       {}
+func (noop) Span(string, time.Duration)  {}
+
+// Noop is the do-nothing Recorder: non-nil, allocation-free.
+var Noop Recorder = noop{}
+
+// StartSpan returns the span start time, or the zero time when rec is
+// nil — pairing with EndSpan gives an allocation-free timed phase:
+//
+//	t0 := telemetry.StartSpan(rec)
+//	... work ...
+//	telemetry.EndSpan(rec, "phase", t0)
+func StartSpan(rec Recorder) time.Time {
+	if rec == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// EndSpan records the phase duration since start; a nil rec is a no-op.
+func EndSpan(rec Recorder, name string, start time.Time) {
+	if rec != nil {
+		rec.Span(name, time.Since(start))
+	}
+}
+
+// multi fans out to several sinks in order.
+type multi []Recorder
+
+func (m multi) Event(scope, name string, fields ...KV) {
+	for _, r := range m {
+		r.Event(scope, name, fields...)
+	}
+}
+
+func (m multi) Count(name string, delta int64) {
+	for _, r := range m {
+		r.Count(name, delta)
+	}
+}
+
+func (m multi) Gauge(name string, v float64) {
+	for _, r := range m {
+		r.Gauge(name, v)
+	}
+}
+
+func (m multi) Span(name string, d time.Duration) {
+	for _, r := range m {
+		r.Span(name, d)
+	}
+}
+
+// Multi combines sinks into one Recorder, dropping nils. It returns
+// nil when no sink remains — callers can hand the result directly to
+// the nil-guarded instrumentation points — and the sink itself when
+// only one remains.
+func Multi(recs ...Recorder) Recorder {
+	var live []Recorder
+	for _, r := range recs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}

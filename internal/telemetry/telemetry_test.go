@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenEvents is the synthetic event stream behind the golden-file
+// test: it covers integer-valued fields, shortest-round-trip floats,
+// the non-finite sentinels, subnormals, exponent notation and an event
+// with no fields at all.
+func goldenEvents(rec Recorder) {
+	rec.Event("alm", "outer",
+		I("iter", 1), F("merit", 12.5), F("kkt", 0.0021), F("viol", 0), F("rho", 10))
+	rec.Event("lbfgs", "iter",
+		I("outer", 1), I("iter", 3),
+		F("phi", 27.63984032778785), F("pg", 0.3954198231038851), I("hist", 3))
+	rec.Event("edge", "case",
+		F("nan", math.NaN()), F("pinf", math.Inf(1)), F("ninf", math.Inf(-1)),
+		F("tiny", 5e-324), F("neg", -1.25e10))
+	rec.Event("empty", "fields")
+}
+
+// TestTraceGolden pins the JSONL encoding byte for byte against the
+// checked-in golden file. Run with -update to regenerate it.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	goldenEvents(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.jsonl")
+	if update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace encoding drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceRoundTrip checks that ParseTrace followed by re-emission
+// through a fresh TraceWriter reproduces the file byte for byte — the
+// property the workers=1-vs-4 determinism tests and `tables
+// -checktrace` rely on.
+func TestTraceRoundTrip(t *testing.T) {
+	var orig bytes.Buffer
+	w := NewTraceWriter(&orig)
+	goldenEvents(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ParseTrace(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+	if err := ValidateTrace(events); err != nil {
+		t.Fatal(err)
+	}
+
+	var re bytes.Buffer
+	w2 := NewTraceWriter(&re)
+	for _, ev := range events {
+		w2.Event(ev.Scope, ev.Name, ev.Fields...)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), re.Bytes()) {
+		t.Errorf("round trip is not byte-identical:\norig:\n%s\nre-emitted:\n%s", orig.Bytes(), re.Bytes())
+	}
+
+	// Spot-check parsed values, including the non-finite sentinels.
+	if got, _ := events[0].Get("merit"); got != 12.5 {
+		t.Errorf("merit = %v, want 12.5", got)
+	}
+	if got, _ := events[2].Get("nan"); !math.IsNaN(got) {
+		t.Errorf("nan field = %v, want NaN", got)
+	}
+	if got, _ := events[2].Get("pinf"); !math.IsInf(got, 1) {
+		t.Errorf("pinf field = %v, want +Inf", got)
+	}
+	if got, _ := events[2].Get("ninf"); !math.IsInf(got, -1) {
+		t.Errorf("ninf field = %v, want -Inf", got)
+	}
+	if _, ok := events[3].Get("anything"); ok {
+		t.Error("empty event reported a field")
+	}
+}
+
+// TestTraceIgnoresAggregates checks that wall-clock data never reaches
+// the trace: the determinism contract of the package comment.
+func TestTraceIgnoresAggregates(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	w.Count("n", 42)
+	w.Gauge("g", 3.14)
+	w.Span("phase", time.Second)
+	w.Event("a", "b")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != `{"seq":1,"scope":"a","event":"b"}`+"\n" {
+		t.Errorf("trace = %q; counters/gauges/spans must not produce lines", got)
+	}
+}
+
+func TestValidateTraceErrors(t *testing.T) {
+	ok := []TraceEvent{
+		{Seq: 1, Scope: "alm", Name: "outer", Fields: []KV{
+			F("iter", 1), F("merit", 1), F("kkt", 0), F("viol", 0), F("rho", 10)}},
+		{Seq: 2, Scope: "alm", Name: "done"},
+	}
+	if err := ValidateTrace(ok); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		events []TraceEvent
+		want   string
+	}{
+		{"empty", nil, "empty"},
+		{"seq gap", []TraceEvent{{Seq: 2, Scope: "a", Name: "b"}}, "seq"},
+		{"missing scope", []TraceEvent{{Seq: 1, Name: "b"}}, "scope"},
+		{"dup field", []TraceEvent{{Seq: 1, Scope: "a", Name: "b",
+			Fields: []KV{F("k", 1), F("k", 2)}}}, "duplicate"},
+		{"empty key", []TraceEvent{{Seq: 1, Scope: "a", Name: "b",
+			Fields: []KV{F("", 1)}}}, "empty field"},
+		{"outer missing kkt", []TraceEvent{{Seq: 1, Scope: "alm", Name: "outer",
+			Fields: []KV{F("iter", 1), F("merit", 1), F("viol", 0), F("rho", 10)}}}, "kkt"},
+	}
+	for _, tc := range cases {
+		err := ValidateTrace(tc.events)
+		if err == nil {
+			t.Errorf("%s: validated, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := NewMetrics()
+	m.Count("evals", 3)
+	m.Count("evals", 4)
+	m.Gauge("levels", 12)
+	m.Gauge("levels", 14)
+	m.Span("sweep", 2*time.Millisecond)
+	m.Span("sweep", 4*time.Millisecond)
+	m.Event("alm", "outer", F("iter", 1))
+	m.Event("alm", "outer", F("iter", 2))
+
+	if got := m.CounterValue("evals"); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if got := m.GaugeValue("levels"); got != 14 {
+		t.Errorf("gauge = %g, want 14 (last value wins)", got)
+	}
+	if n, total := m.SpanValue("sweep"); n != 2 || total != 6*time.Millisecond {
+		t.Errorf("span = (%d, %v), want (2, 6ms)", n, total)
+	}
+	if got := m.CounterValue("event.alm.outer"); got != 2 {
+		t.Errorf("event census counter = %d, want 2", got)
+	}
+	if got := m.CounterValue("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+
+	// The expvar.Var rendering must be valid JSON.
+	var snapshot map[string]any
+	if err := json.Unmarshal([]byte(m.String()), &snapshot); err != nil {
+		t.Fatalf("String() is not valid JSON: %v\n%s", err, m.String())
+	}
+	if snapshot["evals"] != 7.0 {
+		t.Errorf("snapshot[evals] = %v, want 7", snapshot["evals"])
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"counter  evals", "gauge    levels", "span     sweep", "n=2", "event.alm.outer",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	m := NewMetrics()
+	if Multi(nil, m, nil) != Recorder(m) {
+		t.Error("Multi with one live sink should return it unwrapped")
+	}
+
+	a, b := NewMetrics(), NewMetrics()
+	rec := Multi(a, nil, b)
+	rec.Event("s", "e")
+	rec.Count("c", 2)
+	rec.Gauge("g", 1.5)
+	rec.Span("p", time.Millisecond)
+	for i, m := range []*Metrics{a, b} {
+		if got := m.CounterValue("event.s.e"); got != 1 {
+			t.Errorf("sink %d: event counter = %d, want 1", i, got)
+		}
+		if got := m.CounterValue("c"); got != 2 {
+			t.Errorf("sink %d: counter = %d, want 2", i, got)
+		}
+		if got := m.GaugeValue("g"); got != 1.5 {
+			t.Errorf("sink %d: gauge = %g, want 1.5", i, got)
+		}
+		if n, _ := m.SpanValue("p"); n != 1 {
+			t.Errorf("sink %d: span count = %d, want 1", i, n)
+		}
+	}
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogSink(&buf)
+	l.Event("alm", "outer", I("iter", 3), F("merit", 12.5), F("kkt", 0.0021))
+	l.Count("n", 1)
+	l.Gauge("g", 2)
+	l.Span("p", time.Second)
+	want := "alm.outer iter=3 merit=12.5 kkt=0.0021\n"
+	if got := buf.String(); got != want {
+		t.Errorf("log line = %q, want %q", got, want)
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	// Nil recorder: both helpers are no-ops and allocation-free.
+	if got := StartSpan(nil); !got.IsZero() {
+		t.Errorf("StartSpan(nil) = %v, want zero time", got)
+	}
+	EndSpan(nil, "phase", time.Time{}) // must not panic
+	if allocs := testing.AllocsPerRun(100, func() {
+		t0 := StartSpan(nil)
+		EndSpan(nil, "phase", t0)
+	}); allocs != 0 {
+		t.Errorf("nil-recorder span helpers allocate %g per run, want 0", allocs)
+	}
+
+	m := NewMetrics()
+	t0 := StartSpan(m)
+	if t0.IsZero() {
+		t.Error("StartSpan(live recorder) returned zero time")
+	}
+	EndSpan(m, "phase", t0)
+	if n, _ := m.SpanValue("phase"); n != 1 {
+		t.Errorf("span count = %d, want 1", n)
+	}
+}
+
+func TestNoopAllocationFree(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() {
+		Noop.Event("a", "b")
+		Noop.Count("c", 1)
+		Noop.Gauge("g", 1)
+		Noop.Span("s", time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("Noop recorder allocates %g per run, want 0", allocs)
+	}
+}
+
+func TestTraceWriterEventAllocationFree(t *testing.T) {
+	w := NewTraceWriter(&bytes.Buffer{})
+	fields := []KV{F("iter", 1), F("merit", 12.5), F("kkt", 2.1e-3)}
+	w.Event("alm", "outer", fields...) // warm the line buffer
+	if allocs := testing.AllocsPerRun(100, func() {
+		w.Event("alm", "outer", fields...)
+	}); allocs != 0 {
+		t.Errorf("TraceWriter.Event allocates %g per run after warm-up, want 0", allocs)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"not an object", `[1,2]`},
+		{"seq not number", `{"seq":"x","scope":"a","event":"b"}`},
+		{"scope not string", `{"seq":1,"scope":3,"event":"b"}`},
+		{"bad field value", `{"seq":1,"scope":"a","event":"b","k":"bogus"}`},
+		{"truncated", `{"seq":1,"scope":"a"`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseTrace(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ParseTrace accepted %q", tc.name, tc.in)
+		}
+	}
+}

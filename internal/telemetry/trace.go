@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceWriter is the JSONL trace sink: every Event becomes one JSON
+// line with a writer-assigned sequence number and the fields in
+// emission order. Counters, gauges and spans carry wall-clock data and
+// are deliberately ignored — the trace contains only deterministic
+// content, so two runs of the same solve produce byte-identical files
+// regardless of worker count (see the package comment).
+//
+// Line schema:
+//
+//	{"seq":1,"scope":"alm","event":"outer","iter":1,"merit":12.5,...}
+//
+// Floats are formatted with strconv's shortest round-trip form;
+// non-finite values, which JSON cannot represent as numbers, are
+// encoded as the strings "NaN", "+Inf" and "-Inf".
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	seq int64
+	buf []byte
+	err error
+}
+
+// NewTraceWriter wraps w in a JSONL trace sink. The caller owns w;
+// Close flushes buffered lines but does not close it.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// CreateTrace creates (truncating) the trace file at path; Close
+// flushes and closes it.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTraceWriter(f)
+	t.c = f
+	return t, nil
+}
+
+// Event writes one JSONL line.
+func (t *TraceWriter) Event(scope, name string, fields ...KV) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	b := t.buf[:0]
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, t.seq, 10)
+	b = append(b, `,"scope":`...)
+	b = strconv.AppendQuote(b, scope)
+	b = append(b, `,"event":`...)
+	b = strconv.AppendQuote(b, name)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		b = appendFloat(b, f.Val)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.w.Write(b); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Count is a no-op: counters are nondeterministic aggregate data.
+func (t *TraceWriter) Count(string, int64) {}
+
+// Gauge is a no-op: gauges are nondeterministic aggregate data.
+func (t *TraceWriter) Gauge(string, float64) {}
+
+// Span is a no-op: wall-clock durations must not enter the trace.
+func (t *TraceWriter) Span(string, time.Duration) {}
+
+// Close flushes the trace and closes the underlying file when the
+// writer owns one. It reports the first write error encountered.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// appendFloat appends the canonical trace encoding of v: shortest
+// round-trip decimal for finite values, quoted "NaN"/"+Inf"/"-Inf"
+// otherwise.
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(b, `"NaN"`...)
+	case math.IsInf(v, 1):
+		return append(b, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// TraceEvent is one parsed trace line; Fields preserves the on-disk
+// key order, so re-emitting the events through a TraceWriter
+// reproduces the file byte for byte.
+type TraceEvent struct {
+	Seq    int64
+	Scope  string
+	Name   string
+	Fields []KV
+}
+
+// Get returns the named field value.
+func (e *TraceEvent) Get(key string) (float64, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f.Val, true
+		}
+	}
+	return 0, false
+}
+
+// ParseTrace reads a JSONL trace, preserving field order. It is the
+// inverse of TraceWriter: parse followed by re-emission round-trips
+// byte-identically (pinned by TestTraceRoundTrip).
+func ParseTrace(r io.Reader) ([]TraceEvent, error) {
+	var events []TraceEvent
+	dec := json.NewDecoder(r)
+	for line := 1; ; line++ {
+		ev, err := parseEvent(dec)
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+}
+
+// parseEvent token-walks one JSON object so the field order survives.
+func parseEvent(dec *json.Decoder) (TraceEvent, error) {
+	var ev TraceEvent
+	tok, err := dec.Token()
+	if err != nil {
+		return ev, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return ev, fmt.Errorf("expected object, got %v", tok)
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return ev, err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return ev, fmt.Errorf("expected key, got %v", keyTok)
+		}
+		valTok, err := dec.Token()
+		if err != nil {
+			return ev, err
+		}
+		switch key {
+		case "seq":
+			n, ok := valTok.(float64)
+			if !ok {
+				return ev, fmt.Errorf("seq is %T, want number", valTok)
+			}
+			ev.Seq = int64(n)
+		case "scope":
+			s, ok := valTok.(string)
+			if !ok {
+				return ev, fmt.Errorf("scope is %T, want string", valTok)
+			}
+			ev.Scope = s
+		case "event":
+			s, ok := valTok.(string)
+			if !ok {
+				return ev, fmt.Errorf("event is %T, want string", valTok)
+			}
+			ev.Name = s
+		default:
+			v, err := fieldValue(valTok)
+			if err != nil {
+				return ev, fmt.Errorf("field %q: %w", key, err)
+			}
+			ev.Fields = append(ev.Fields, KV{Key: key, Val: v})
+		}
+	}
+	// Consume the closing '}'. A clean EOF here means the object was
+	// truncated — do not let it masquerade as end-of-trace.
+	if _, err := dec.Token(); err != nil {
+		if err == io.EOF {
+			return ev, io.ErrUnexpectedEOF
+		}
+		return ev, err
+	}
+	return ev, nil
+}
+
+// fieldValue decodes a field value: a number, or the non-finite
+// sentinels appendFloat writes.
+func fieldValue(tok json.Token) (float64, error) {
+	switch v := tok.(type) {
+	case float64:
+		return v, nil
+	case string:
+		switch v {
+		case "NaN":
+			return math.NaN(), nil
+		case "+Inf":
+			return math.Inf(1), nil
+		case "-Inf":
+			return math.Inf(-1), nil
+		}
+	}
+	return 0, fmt.Errorf("unsupported value %v", tok)
+}
+
+// ValidateTrace checks the structural schema of a parsed trace: the
+// sequence numbers count 1..n with no gaps, every event names a scope
+// and an event kind, and the solver-iteration events carry the fields
+// the convergence tooling depends on. It is the sanity check behind
+// `tables -checktrace` and `make trace`.
+func ValidateTrace(events []TraceEvent) error {
+	if len(events) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Seq != int64(i+1) {
+			return fmt.Errorf("event %d: seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Scope == "" || ev.Name == "" {
+			return fmt.Errorf("event %d: empty scope or event name", i)
+		}
+		seen := map[string]bool{}
+		for _, f := range ev.Fields {
+			if f.Key == "" {
+				return fmt.Errorf("event %d (%s.%s): empty field key", i, ev.Scope, ev.Name)
+			}
+			if seen[f.Key] {
+				return fmt.Errorf("event %d (%s.%s): duplicate field %q", i, ev.Scope, ev.Name, f.Key)
+			}
+			seen[f.Key] = true
+		}
+		if ev.Scope == "alm" && ev.Name == "outer" {
+			for _, k := range []string{"iter", "merit", "kkt", "viol", "rho"} {
+				if _, ok := ev.Get(k); !ok {
+					return fmt.Errorf("event %d: alm.outer missing field %q", i, k)
+				}
+			}
+		}
+	}
+	return nil
+}
