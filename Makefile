@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check trace
+.PHONY: build test vet race bench check trace faults
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ bench:
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race
+
+# faults runs the resilience acceptance suite: the deterministic
+# fault-injection harness (internal/faults) driving the solver's
+# recovery, degradation, cancellation and checkpoint paths, plus the
+# cancellation tests of the parallel SSTA and Monte Carlo engines —
+# race-checked, because these are exactly the paths where goroutines
+# could leak.
+faults:
+	$(GO) test -race -timeout 5m ./internal/faults/ ./internal/nlp/ \
+		./internal/ssta/ ./internal/montecarlo/
 
 # trace runs a sized solve with the JSONL telemetry trace enabled and
 # schema-validates the result — the end-to-end smoke test of the

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -38,8 +40,16 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		timeout     = flag.Duration("timeout", 0, "abort the analysis after this wall-clock budget and exit non-zero (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var sinks []telemetry.Recorder
 	var trace *telemetry.TraceWriter
@@ -92,7 +102,19 @@ func main() {
 		circ.Name, stats.Gates, stats.Inputs, stats.Outputs, stats.Depth)
 
 	det := ssta.DetAnalyze(m, S)
-	r := ssta.AnalyzeWorkersRec(m, S, false, *workers, rec)
+	// With a deadline the analytic sweep runs through the ctx-aware
+	// variant (cancellation polled at level boundaries); without one the
+	// recorded path is unchanged so traces stay byte-identical.
+	var r *ssta.Result
+	if *timeout > 0 {
+		var err error
+		r, err = ssta.AnalyzeWorkersCtx(ctx, m, S, false, *workers)
+		if err != nil {
+			deadline(err)
+		}
+	} else {
+		r = ssta.AnalyzeWorkersRec(m, S, false, *workers, rec)
+	}
 	if rec != nil {
 		rec.Event("ssta", "result",
 			telemetry.F("det_tmax", det.Tmax),
@@ -141,11 +163,14 @@ func main() {
 	}
 
 	if *mcSamples > 0 {
-		cmp, err := montecarlo.CompareAnalytic(m, S, r.Tmax, montecarlo.Options{
+		cmp, err := montecarlo.CompareAnalyticCtx(ctx, m, S, r.Tmax, montecarlo.Options{
 			Samples: *mcSamples, Seed: *seed, KeepSamples: true, Workers: *workers,
 			Recorder: rec,
 		})
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				deadline(err)
+			}
 			fatal(err)
 		}
 		if rec != nil {
@@ -196,6 +221,13 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ssta:", err)
 	os.Exit(1)
+}
+
+// deadline reports a -timeout expiry with its own exit code so scripts
+// can tell a budget overrun from a bad invocation.
+func deadline(err error) {
+	fmt.Fprintln(os.Stderr, "ssta: wall-clock budget exhausted:", err)
+	os.Exit(2)
 }
 
 func loadCircuit(name string) (*netlist.Circuit, *delay.Library, error) {

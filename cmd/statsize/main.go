@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,9 @@ func main() {
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		timeout       = flag.Duration("timeout", 0, "abort the solve after this wall-clock budget; the run exits non-zero with the best-so-far result (0 = no limit)")
+		checkpointF   = flag.String("checkpoint", "", "write a solver checkpoint to this file periodically and on cancellation")
+		resumeF       = flag.String("resume", "", "resume the solve from a checkpoint file written by -checkpoint")
 	)
 	flag.Var(&constraints, "constraint", `timing constraint, repeatable: "mu<=120", "mu+3sigma<=120", "mu=6.5"`)
 	flag.Parse()
@@ -131,6 +135,20 @@ func main() {
 		fatal(fmt.Errorf("unknown solver %q", *solver))
 	}
 	spec.Recorder = rec
+	spec.Solver.CheckpointPath = *checkpointF
+	if *resumeF != "" {
+		ck, err := nlp.LoadCheckpoint(*resumeF)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Solver.Resume = ck
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	unit := ssta.AnalyzeWorkersRec(m, m.UnitSizes(), false, *workers, rec).Tmax
 	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n",
@@ -138,7 +156,7 @@ func main() {
 	fmt.Printf("unsized:   mu = %.4f  sigma = %.4f  sum(Si) = %d\n",
 		unit.Mu, unit.Sigma(), circ.NumGates())
 
-	out, err := sizing.Size(m, spec)
+	out, err := sizing.SizeCtx(ctx, m, spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -152,6 +170,9 @@ func main() {
 	fmt.Printf("solver:    %v in %v (%d outer, %d inner, violation %.2g)\n",
 		out.Solver.Status, out.Runtime.Round(time.Millisecond),
 		out.Solver.Outer, out.Solver.Inner, out.Solver.MaxViolation)
+	if out.Fallback {
+		fmt.Printf("fallback:  NLP solver failed numerically; sizes above are from the greedy sensitivity sizer\n")
+	}
 	fmt.Printf("timing:    setup %v  inner %v  solve %v\n",
 		out.Solver.SetupTime.Round(time.Microsecond),
 		out.Solver.InnerTime.Round(time.Microsecond),
@@ -196,6 +217,22 @@ func main() {
 		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
 			fatal(err)
 		}
+	}
+
+	// A failed solver status exits non-zero with a one-line diagnostic
+	// after the sinks drain, so scripts can detect the condition while
+	// the trace and best-so-far result above stay inspectable.
+	if st := out.Solver.Status; st.Failed() {
+		msg := fmt.Sprintf("statsize: solver %v: best objective %.6g after %d outer / %d inner",
+			st, out.Solver.F, out.Solver.Outer, out.Solver.Inner)
+		if *checkpointF != "" {
+			msg += fmt.Sprintf(" (checkpoint: %s)", *checkpointF)
+		}
+		if out.Fallback {
+			msg += " — greedy fallback sizing reported above"
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,106 @@
+// Package checkpoint is a small versioned-JSON persistence codec for
+// resumable solver state. A checkpoint file is a single JSON envelope
+//
+//	{"version": 1, "kind": "nlp.alm", "data": {...}}
+//
+// whose data payload is owned by the writing package. The envelope
+// carries the two facts a resuming process must verify before trusting
+// a file written by an arbitrary earlier run: the schema version and
+// the producing subsystem. Writes are atomic (temp file in the target
+// directory, then rename), so a run killed mid-write never corrupts an
+// existing checkpoint.
+//
+// JSON is the serialization deliberately: encoding/json emits float64
+// values in shortest round-trip form and parses them back exactly, so
+// a resumed solve sees bit-identical state — the property the
+// resume-equals-uninterrupted tests pin.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current envelope schema version. Bump it only when
+// the envelope itself changes shape; payload evolution is the owning
+// package's concern.
+const Version = 1
+
+// Sentinel errors, matchable with errors.Is after the %w wrapping
+// below.
+var (
+	// ErrVersion reports an envelope written by an incompatible schema
+	// version.
+	ErrVersion = errors.New("checkpoint: unsupported version")
+	// ErrKind reports an envelope written by a different subsystem than
+	// the one resuming.
+	ErrKind = errors.New("checkpoint: kind mismatch")
+)
+
+// envelope is the on-disk frame around a payload.
+type envelope struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// Save atomically writes payload under the given kind to path: the
+// envelope is marshalled to a temporary file in path's directory and
+// renamed into place, so readers never observe a torn write.
+func Save(path, kind string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %s payload: %w", kind, err)
+	}
+	raw, err := json.Marshal(envelope{Version: Version, Kind: kind, Data: data})
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
+	}
+	raw = append(raw, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads the envelope at path, validates its version and kind, and
+// unmarshals the payload into payload.
+func Load(path, kind string, payload any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("%w: file %s has version %d, this build reads %d",
+			ErrVersion, path, env.Version, Version)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("%w: file %s holds %q, want %q", ErrKind, path, env.Kind, kind)
+	}
+	if err := json.Unmarshal(env.Data, payload); err != nil {
+		return fmt.Errorf("checkpoint: %s payload: %w", path, err)
+	}
+	return nil
+}

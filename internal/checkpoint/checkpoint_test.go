@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	N int       `json:"n"`
+	X []float64 `json:"x"`
+}
+
+func TestRoundTripExactFloats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	// Values chosen to stress shortest-round-trip encoding.
+	in := payload{N: 3, X: []float64{0.1, 1.0 / 3.0, math.Nextafter(1, 2), 4.647929556139247}}
+	if err := Save(path, "test.kind", &in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test.kind", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != in.N || len(out.X) != len(in.X) {
+		t.Fatalf("shape mismatch: %+v vs %+v", out, in)
+	}
+	for i := range in.X {
+		if out.X[i] != in.X[i] {
+			t.Fatalf("X[%d] = %b, want %b (not bit-identical)", i, out.X[i], in.X[i])
+		}
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "nlp.alm", &payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	err := Load(path, "other.kind", &out)
+	if !errors.Is(err, ErrKind) {
+		t.Fatalf("err = %v, want ErrKind", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte(`{"version":999,"kind":"test.kind","data":{}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	err := Load(path, "test.kind", &out)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestAtomicOverwriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	for i := 0; i < 3; i++ {
+		if err := Save(path, "test.kind", &payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the checkpoint", len(entries))
+	}
+	var out payload
+	if err := Load(path, "test.kind", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 {
+		t.Fatalf("latest write lost: N = %d, want 2", out.N)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test.kind", &out); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	if err := Load(filepath.Join(t.TempDir(), "absent.json"), "test.kind", &out); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+}

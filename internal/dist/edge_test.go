@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPointMassQuantile: a point mass (Sigma == 0) has every quantile
+// at Mu — including the p <= 0 and p >= 1 boundaries, where the naive
+// Mu + 0*(±Inf) scaling would manufacture a NaN.
+func TestPointMassQuantile(t *testing.T) {
+	n := Normal{Mu: 3.5, Sigma: 0}
+	for _, p := range []float64{-1, 0, 0.25, 0.5, 0.75, 1, 2} {
+		if got := n.Quantile(p); got != 3.5 {
+			t.Fatalf("Quantile(%v) = %v, want 3.5", p, got)
+		}
+	}
+	if got := n.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+	}
+}
+
+// TestNegativeSigmaIsNaN: a negative (or NaN) standard deviation has
+// no density, CDF or quantiles; the guards return NaN rather than the
+// sign-flipped garbage the formulas would produce.
+func TestNegativeSigmaIsNaN(t *testing.T) {
+	for _, sigma := range []float64{-1, -1e-300, math.NaN()} {
+		n := Normal{Mu: 0, Sigma: sigma}
+		if v := n.PDF(0); !math.IsNaN(v) {
+			t.Fatalf("Sigma=%v: PDF = %v, want NaN", sigma, v)
+		}
+		if v := n.CDF(0); !math.IsNaN(v) {
+			t.Fatalf("Sigma=%v: CDF = %v, want NaN", sigma, v)
+		}
+		if v := n.Quantile(0.5); !math.IsNaN(v) {
+			t.Fatalf("Sigma=%v: Quantile = %v, want NaN", sigma, v)
+		}
+		if n.Validate() == nil {
+			t.Fatalf("Sigma=%v: Validate accepted an invalid sigma", sigma)
+		}
+	}
+}
+
+// TestPointMassPDFandCDF: the degenerate branches stay exact.
+func TestPointMassPDFandCDF(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 0}
+	if v := n.PDF(1); !math.IsInf(v, 1) {
+		t.Fatalf("PDF at the atom = %v, want +Inf", v)
+	}
+	if v := n.PDF(2); v != 0 {
+		t.Fatalf("PDF off the atom = %v, want 0", v)
+	}
+	if v := n.CDF(0.5); v != 0 {
+		t.Fatalf("CDF below the atom = %v, want 0", v)
+	}
+	if v := n.CDF(1); v != 1 {
+		t.Fatalf("CDF at the atom = %v, want 1", v)
+	}
+}

@@ -83,8 +83,13 @@ func (n Normal) Validate() error {
 func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
 
 // PDF returns the density of the distribution at x. For a point mass
-// (Sigma == 0) it returns +Inf at Mu and 0 elsewhere.
+// (Sigma == 0) it returns +Inf at Mu and 0 elsewhere. A negative (or
+// NaN) Sigma has no density: the result is NaN, an explicit signal
+// rather than the sign-flipped garbage the formula would produce.
 func (n Normal) PDF(x float64) float64 {
+	if !(n.Sigma >= 0) {
+		return math.NaN()
+	}
 	if n.Sigma == 0 {
 		if x == n.Mu {
 			return math.Inf(1)
@@ -94,8 +99,12 @@ func (n Normal) PDF(x float64) float64 {
 	return PDF((x-n.Mu)/n.Sigma) / n.Sigma
 }
 
-// CDF returns P(X <= x).
+// CDF returns P(X <= x). A negative (or NaN) Sigma returns NaN (see
+// PDF).
 func (n Normal) CDF(x float64) float64 {
+	if !(n.Sigma >= 0) {
+		return math.NaN()
+	}
 	if n.Sigma == 0 {
 		if x >= n.Mu {
 			return 1
@@ -106,8 +115,20 @@ func (n Normal) CDF(x float64) float64 {
 }
 
 // Quantile returns the p-quantile of the distribution; p must lie in
-// (0, 1) for a non-degenerate result. Quantile(0.5) == Mu exactly.
+// (0, 1) for a non-degenerate result. Quantile(0.5) == Mu exactly. A
+// point mass (Sigma == 0) has every quantile at Mu — including the
+// p <= 0 and p >= 1 boundaries, where the naive Mu + 0*(±Inf) scaling
+// would manufacture a NaN. A negative (or NaN) Sigma returns NaN.
 func (n Normal) Quantile(p float64) float64 {
+	if !(n.Sigma >= 0) {
+		return math.NaN()
+	}
+	if n.Sigma == 0 {
+		if math.IsNaN(p) {
+			return math.NaN()
+		}
+		return n.Mu
+	}
 	return n.Mu + n.Sigma*Quantile(p)
 }
 

@@ -1,0 +1,109 @@
+package montecarlo
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+)
+
+func ctxTestModel(t *testing.T) *delay.Model {
+	t.Helper()
+	return delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+}
+
+// TestRunCtxUncancelledMatchesRun: a background context must not
+// perturb the sampler — RunCtx reproduces Run bit for bit for every
+// worker count.
+func TestRunCtxUncancelledMatchesRun(t *testing.T) {
+	m := ctxTestModel(t)
+	S := m.UnitSizes()
+	opt := Options{Samples: 20000, Seed: 42, KeepSamples: true, Workers: 1}
+	ref, err := Run(m, S, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+		r, err := RunCtx(context.Background(), m, S, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if r.Mu != ref.Mu || r.Sigma != ref.Sigma {
+			t.Fatalf("workers=%d: moments (%v, %v) != (%v, %v)", workers, r.Mu, r.Sigma, ref.Mu, ref.Sigma)
+		}
+		for i := range r.Samples {
+			if r.Samples[i] != ref.Samples[i] {
+				t.Fatalf("workers=%d: sample %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunCtxCancelled: a pre-cancelled context yields (nil, ctx.Err())
+// and no partial moments; CompareAnalyticCtx forwards the error.
+func TestRunCtxCancelled(t *testing.T) {
+	m := ctxTestModel(t)
+	S := m.UnitSizes()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Samples: 20000, Seed: 7, Workers: 2}
+	if r, err := RunCtx(ctx, m, S, opt); err != context.Canceled || r != nil {
+		t.Fatalf("RunCtx = (%v, %v), want (nil, context.Canceled)", r, err)
+	}
+	if c, err := CompareAnalyticCtx(ctx, m, S, stats.MV{Mu: 1, Var: 0.01}, opt); err != context.Canceled || c != nil {
+		t.Fatalf("CompareAnalyticCtx = (%v, %v), want (nil, context.Canceled)", c, err)
+	}
+}
+
+// TestRunCtxCancelMidRunNoGoroutineLeak: cancellation is polled at
+// shard boundaries, so a worker always finishes its shard and joins
+// the barrier — no goroutine outlives a cancelled run.
+func TestRunCtxCancelMidRunNoGoroutineLeak(t *testing.T) {
+	m := ctxTestModel(t)
+	S := m.UnitSizes()
+	base := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // races the run: either outcome is legal
+		if _, err := RunCtx(ctx, m, S, Options{Samples: 200000, Seed: int64(trial), Workers: 4}); err != nil && err != context.Canceled {
+			t.Fatalf("trial %d: err = %v", trial, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled runs: %d, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEmptySampleGuards: Yield and Quantile on a kept-but-empty sample
+// set (every sample filtered away upstream) return NaN instead of
+// panicking or indexing out of range; a NaN p selects no quantile.
+func TestEmptySampleGuards(t *testing.T) {
+	empty := &Result{Samples: []float64{}}
+	if v := empty.Yield(1.0); !math.IsNaN(v) {
+		t.Fatalf("Yield on empty samples = %v, want NaN", v)
+	}
+	if v := empty.Quantile(0.5); !math.IsNaN(v) {
+		t.Fatalf("Quantile on empty samples = %v, want NaN", v)
+	}
+	full := &Result{Samples: []float64{1, 2, 3}}
+	if v := full.Quantile(math.NaN()); !math.IsNaN(v) {
+		t.Fatalf("Quantile(NaN) = %v, want NaN", v)
+	}
+	// Boundary ranks stay in range.
+	if v := full.Quantile(0); v != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", v)
+	}
+	if v := full.Quantile(1); v != 3 {
+		t.Fatalf("Quantile(1) = %v, want 3", v)
+	}
+}

@@ -11,6 +11,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -90,9 +91,20 @@ type shardMoments struct {
 // order, so the result depends only on (Samples, Seed), not on
 // Options.Workers.
 func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), m, S, opt)
+}
+
+// RunCtx is Run under a cancellation context. Cancellation is polled
+// at shard boundaries only — a worker always finishes the shard it is
+// drawing — so every worker goroutine joins the barrier and none can
+// leak. A cancelled run returns (nil, ctx.Err()) and no partial
+// moments; an uncancelled run is bit-identical to Run for every
+// worker count.
+func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Result, error) {
 	if opt.Samples < 1 {
 		return nil, fmt.Errorf("montecarlo: need at least 1 sample, got %d", opt.Samples)
 	}
+	done := ctx.Done()
 	g := m.G
 	n := len(g.C.Nodes)
 
@@ -169,6 +181,9 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 	if workers == 1 {
 		arr := make([]float64, n)
 		for i := range shards {
+			if cancelled(done) {
+				return nil, ctx.Err()
+			}
 			runShard(arr, i)
 		}
 	} else {
@@ -180,6 +195,9 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 				defer wg.Done()
 				arr := make([]float64, n)
 				for {
+					if cancelled(done) {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= nShards {
 						return
@@ -189,6 +207,9 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 			}()
 		}
 		wg.Wait()
+		if cancelled(done) {
+			return nil, ctx.Err()
+		}
 	}
 
 	// Merge the per-shard moments with Chan's pairwise combination,
@@ -234,11 +255,28 @@ func Run(m *delay.Model, S []float64, opt Options) (*Result, error) {
 	return r, nil
 }
 
+// cancelled polls a context's done channel without blocking.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Yield returns the fraction of samples meeting the deadline. The
-// result must have been produced with KeepSamples set.
+// result must have been produced with KeepSamples set; an empty
+// sample set has no defined yield and returns NaN.
 func (r *Result) Yield(deadline float64) float64 {
 	if r.Samples == nil {
 		panic("montecarlo: Yield requires KeepSamples")
+	}
+	if len(r.Samples) == 0 {
+		return math.NaN()
 	}
 	// First index with sample > deadline.
 	i := sort.SearchFloat64s(r.Samples, deadline)
@@ -255,12 +293,18 @@ func (r *Result) Yield(deadline float64) float64 {
 // at least ceil(p*n) of the n samples are <= x, i.e.
 // Samples[ceil(p*n)-1]. This makes Quantile the inverse of Yield at
 // the boundaries: Yield(Quantile(p)) >= p for every p in (0, 1].
-// p <= 0 returns the minimum sample, p >= 1 the maximum.
+// p <= 0 returns the minimum sample, p >= 1 the maximum. An empty
+// sample set has no quantiles, and a NaN p selects none: both return
+// NaN instead of panicking on an impossible rank (guarding callers
+// that filtered every sample away before asking).
 func (r *Result) Quantile(p float64) float64 {
 	if r.Samples == nil {
 		panic("montecarlo: Quantile requires KeepSamples")
 	}
 	n := len(r.Samples)
+	if n == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
 	i := int(math.Ceil(p*float64(n))) - 1
 	if i < 0 {
 		i = 0
@@ -293,7 +337,13 @@ type Compare struct {
 // CompareAnalytic runs Monte Carlo and reports the gap to the analytic
 // moments computed by the caller (typically ssta.Analyze(...).Tmax).
 func CompareAnalytic(m *delay.Model, S []float64, analytic stats.MV, opt Options) (*Compare, error) {
-	r, err := Run(m, S, opt)
+	return CompareAnalyticCtx(context.Background(), m, S, analytic, opt)
+}
+
+// CompareAnalyticCtx is CompareAnalytic under a cancellation context;
+// a cancelled run returns (nil, ctx.Err()).
+func CompareAnalyticCtx(ctx context.Context, m *delay.Model, S []float64, analytic stats.MV, opt Options) (*Compare, error) {
+	r, err := RunCtx(ctx, m, S, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -62,7 +62,7 @@ func ReadBench(r io.Reader) (*Circuit, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return assembleNetlist("bench", inputs, outputs, gates)
+	return assembleNetlist("bench", "bench", inputs, outputs, gates)
 }
 
 // parenArg extracts NAME from "KEYWORD(NAME)".
@@ -70,7 +70,7 @@ func parenArg(line string, lineNo int) (string, error) {
 	open := strings.IndexByte(line, '(')
 	closing := strings.LastIndexByte(line, ')')
 	if open < 0 || closing <= open+1 {
-		return "", fmt.Errorf("bench line %d: malformed %q", lineNo, line)
+		return "", parseErr("bench", lineNo, "malformed %q", line)
 	}
 	return strings.TrimSpace(line[open+1 : closing]), nil
 }
@@ -82,23 +82,23 @@ func benchTypeByFn(fn string, arity, lineNo int) (string, error) {
 	switch fn {
 	case "NOT", "INV":
 		if arity != 1 {
-			return "", fmt.Errorf("bench line %d: NOT with %d inputs", lineNo, arity)
+			return "", parseErr("bench", lineNo, "NOT with %d inputs", arity)
 		}
 		return "inv", nil
 	case "BUF", "BUFF":
 		if arity != 1 {
-			return "", fmt.Errorf("bench line %d: BUFF with %d inputs", lineNo, arity)
+			return "", parseErr("bench", lineNo, "BUFF with %d inputs", arity)
 		}
 		return "buf", nil
 	case "DFF", "LATCH":
-		return "", fmt.Errorf("bench line %d: sequential element %s not supported", lineNo, fn)
+		return "", parseErr("bench", lineNo, "sequential element %s not supported", fn)
 	case "NAND", "NOR", "AND", "OR", "XOR", "XNOR":
 		if arity < 2 || arity > 4 {
-			return "", fmt.Errorf("bench line %d: %s with %d inputs (supported: 2-4)", lineNo, fn, arity)
+			return "", parseErr("bench", lineNo, "%s with %d inputs (supported: 2-4)", fn, arity)
 		}
 		return fmt.Sprintf("%s%d", strings.ToLower(fn), arity), nil
 	default:
-		return "", fmt.Errorf("bench line %d: unknown function %q", lineNo, fn)
+		return "", parseErr("bench", lineNo, "unknown function %q", fn)
 	}
 }
 
@@ -106,21 +106,21 @@ func benchTypeByFn(fn string, arity, lineNo int) (string, error) {
 func parseBenchGate(line string, lineNo int) (blifGate, error) {
 	eq := strings.IndexByte(line, '=')
 	if eq <= 0 {
-		return blifGate{}, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+		return blifGate{}, parseErr("bench", lineNo, "expected assignment, got %q", line)
 	}
 	out := strings.TrimSpace(line[:eq])
 	rhs := strings.TrimSpace(line[eq+1:])
 	open := strings.IndexByte(rhs, '(')
 	closing := strings.LastIndexByte(rhs, ')')
 	if open <= 0 || closing <= open {
-		return blifGate{}, fmt.Errorf("bench line %d: malformed function %q", lineNo, rhs)
+		return blifGate{}, parseErr("bench", lineNo, "malformed function %q", rhs)
 	}
 	fn := strings.TrimSpace(rhs[:open])
 	var fanin []string
 	for _, a := range strings.Split(rhs[open+1:closing], ",") {
 		a = strings.TrimSpace(a)
 		if a == "" {
-			return blifGate{}, fmt.Errorf("bench line %d: empty operand", lineNo)
+			return blifGate{}, parseErr("bench", lineNo, "empty operand")
 		}
 		fanin = append(fanin, a)
 	}

@@ -71,15 +71,15 @@ func ReadBLIF(r io.Reader) (*Circuit, error) {
 			// Accept and keep scanning; trailing content is ignored
 			// as in common BLIF tooling.
 		case ".names", ".latch", ".subckt":
-			return nil, fmt.Errorf("blif line %d: %s is not supported (mapped netlists only)", lineNo, fields[0])
+			return nil, parseErr("blif", lineNo, "%s is not supported (mapped netlists only)", fields[0])
 		default:
-			return nil, fmt.Errorf("blif line %d: unknown construct %q", lineNo, fields[0])
+			return nil, parseErr("blif", lineNo, "unknown construct %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return assembleNetlist(name, inputs, outputs, gates)
+	return assembleNetlist("blif", name, inputs, outputs, gates)
 }
 
 type blifGate struct {
@@ -95,7 +95,7 @@ var outputPinNames = map[string]bool{
 
 func parseBlifGate(fields []string, lineNo int) (blifGate, error) {
 	if len(fields) < 3 {
-		return blifGate{}, fmt.Errorf("blif line %d: .gate needs a type and pin assignments", lineNo)
+		return blifGate{}, parseErr("blif", lineNo, ".gate needs a type and pin assignments")
 	}
 	g := blifGate{typ: strings.ToLower(fields[1]), line: lineNo}
 	type pin struct{ name, net string }
@@ -103,7 +103,7 @@ func parseBlifGate(fields []string, lineNo int) (blifGate, error) {
 	for _, a := range fields[2:] {
 		eq := strings.IndexByte(a, '=')
 		if eq <= 0 || eq == len(a)-1 {
-			return blifGate{}, fmt.Errorf("blif line %d: bad pin assignment %q", lineNo, a)
+			return blifGate{}, parseErr("blif", lineNo, "bad pin assignment %q", a)
 		}
 		pins = append(pins, pin{strings.ToLower(a[:eq]), a[eq+1:]})
 	}
@@ -122,28 +122,33 @@ func parseBlifGate(fields []string, lineNo int) (blifGate, error) {
 		}
 	}
 	if g.output == "" {
-		return blifGate{}, fmt.Errorf("blif line %d: gate has no output pin", lineNo)
+		return blifGate{}, parseErr("blif", lineNo, "gate has no output pin")
 	}
 	return g, nil
 }
 
 // assembleNetlist orders collected gate records topologically (BLIF
 // and .bench place no ordering requirement on gate lines) and builds
-// the Circuit. Gates are named after their output nets.
-func assembleNetlist(name string, inputs, outputs []string, gates []blifGate) (*Circuit, error) {
+// the Circuit. Gates are named after their output nets. format tags
+// the diagnostics ("blif" or "bench"); every structural defect comes
+// back as a *ParseError anchored at the offending gate's source line
+// and wrapping one of the sentinel categories in errors.go.
+func assembleNetlist(format, name string, inputs, outputs []string, gates []blifGate) (*Circuit, error) {
 	c := New(name)
 	for _, in := range inputs {
 		if _, err := c.AddInput(in); err != nil {
-			return nil, err
+			return nil, &ParseError{Format: format, Err: err}
 		}
 	}
 	driver := make(map[string]int, len(gates)) // net -> gate index
 	for i, g := range gates {
-		if _, dup := driver[g.output]; dup {
-			return nil, fmt.Errorf("blif line %d: net %q driven twice", g.line, g.output)
+		if j, dup := driver[g.output]; dup {
+			return nil, parseErr(format, g.line, "net %q already driven at line %d: %w",
+				g.output, gates[j].line, ErrRedriven)
 		}
 		if _, isIn := c.Lookup(g.output); isIn {
-			return nil, fmt.Errorf("blif line %d: net %q drives a primary input", g.line, g.output)
+			return nil, parseErr(format, g.line, "net %q drives a primary input: %w",
+				g.output, ErrRedriven)
 		}
 		driver[g.output] = i
 	}
@@ -156,7 +161,8 @@ func assembleNetlist(name string, inputs, outputs []string, gates []blifGate) (*
 				indeg[i]++
 				succ[j] = append(succ[j], i)
 			} else if _, isIn := c.Lookup(f); !isIn {
-				return nil, fmt.Errorf("blif line %d: net %q is undriven", g.line, f)
+				return nil, parseErr(format, g.line, "net %q (fanin of %q): %w",
+					f, g.output, ErrUndriven)
 			}
 		}
 	}
@@ -172,7 +178,7 @@ func assembleNetlist(name string, inputs, outputs []string, gates []blifGate) (*
 		queue = queue[1:]
 		g := gates[i]
 		if _, err := c.AddGate(g.output, g.typ, g.fanin...); err != nil {
-			return nil, fmt.Errorf("blif line %d: %w", g.line, err)
+			return nil, &ParseError{Format: format, Line: g.line, Err: err}
 		}
 		placed++
 		for _, s := range succ[i] {
@@ -183,11 +189,24 @@ func assembleNetlist(name string, inputs, outputs []string, gates []blifGate) (*
 		}
 	}
 	if placed != len(gates) {
-		return nil, fmt.Errorf("blif: combinational cycle among %d gates", len(gates)-placed)
+		// Kahn leaves exactly the gates on cycles (and their downstream
+		// cone) unplaced; name them so the report points into the file.
+		var stuck []string
+		for i, d := range indeg {
+			if d > 0 {
+				stuck = append(stuck, fmt.Sprintf("%s (line %d)", gates[i].output, gates[i].line))
+			}
+			if len(stuck) == 8 {
+				stuck = append(stuck, "...")
+				break
+			}
+		}
+		return nil, parseErr(format, 0, "%w: %d gates on or behind the cycle: %s",
+			ErrCycle, len(gates)-placed, strings.Join(stuck, ", "))
 	}
 	for _, o := range outputs {
 		if err := c.MarkOutput(o); err != nil {
-			return nil, err
+			return nil, &ParseError{Format: format, Err: err}
 		}
 	}
 	if err := c.Validate(); err != nil {

@@ -1,0 +1,52 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Structural defect categories the netlist readers diagnose. They are
+// wrapped inside ParseError values, so callers classify failures with
+// errors.Is without parsing message text:
+//
+//	if errors.Is(err, netlist.ErrCycle) { ... }
+//
+// ErrCycle (topo.go) joins this set: the readers wrap it when gate
+// definitions are mutually dependent. ErrDuplicateName and
+// ErrUnknownNode (circuit.go) surface through ParseError the same way.
+var (
+	// ErrUndriven marks a net that is referenced as a fanin but is
+	// neither a primary input nor any gate's output.
+	ErrUndriven = errors.New("undriven net")
+	// ErrRedriven marks a net with more than one driver (two gates, or
+	// a gate driving a primary input).
+	ErrRedriven = errors.New("net driven twice")
+)
+
+// ParseError is a positional netlist diagnostic: the format being read
+// ("blif" or "bench"), the 1-based source line of the offending
+// construct, and the underlying cause. Line 0 means the defect spans
+// lines (e.g. a cycle) and has no single anchor. The rendering follows
+// the compiler convention ("blif:12: ...") so editors and CI log
+// scrapers pick the position up directly.
+type ParseError struct {
+	Format string
+	Line   int
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d: %v", e.Format, e.Line, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Format, e.Err)
+}
+
+// Unwrap exposes the cause, so errors.Is reaches the sentinel
+// categories above (and circuit.go's ErrDuplicateName/ErrUnknownNode).
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// parseErr builds a ParseError with a formatted cause.
+func parseErr(format string, line int, f string, args ...any) error {
+	return &ParseError{Format: format, Line: line, Err: fmt.Errorf(f, args...)}
+}

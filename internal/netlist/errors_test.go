@@ -1,0 +1,199 @@
+package netlist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// readBLIF parses BLIF source expecting a structural error.
+func readBLIFErr(t *testing.T, src string) error {
+	t.Helper()
+	c, err := ReadBLIF(strings.NewReader(src))
+	if err == nil {
+		t.Fatalf("ReadBLIF accepted a defective netlist: %v", c.Name)
+	}
+	return err
+}
+
+func TestBLIFUndrivenNet(t *testing.T) {
+	err := readBLIFErr(t, `
+.model bad
+.inputs a
+.outputs y
+.gate nand2 A=a B=ghost O=y
+.end
+`)
+	if !errors.Is(err, ErrUndriven) {
+		t.Fatalf("err = %v, want ErrUndriven", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not a *ParseError", err)
+	}
+	if pe.Format != "blif" || pe.Line != 5 {
+		t.Fatalf("position = %s:%d, want blif:5", pe.Format, pe.Line)
+	}
+	if !strings.HasPrefix(err.Error(), "blif:5: ") {
+		t.Fatalf("rendering %q lacks the blif:5: prefix", err.Error())
+	}
+	if !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("rendering %q does not name the undriven net", err.Error())
+	}
+}
+
+func TestBLIFRedrivenNet(t *testing.T) {
+	err := readBLIFErr(t, `
+.model bad
+.inputs a b
+.outputs y
+.gate inv A=a O=y
+.gate inv A=b O=y
+.end
+`)
+	if !errors.Is(err, ErrRedriven) {
+		t.Fatalf("err = %v, want ErrRedriven", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 6 {
+		t.Fatalf("err %v not anchored at the second driver (line 6)", err)
+	}
+	// The message points back to the first driver too.
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("rendering %q does not cite the first driver's line", err.Error())
+	}
+}
+
+func TestBLIFGateDrivesPrimaryInput(t *testing.T) {
+	err := readBLIFErr(t, `
+.model bad
+.inputs a b
+.outputs b
+.gate inv A=a O=b
+.end
+`)
+	if !errors.Is(err, ErrRedriven) {
+		t.Fatalf("err = %v, want ErrRedriven", err)
+	}
+}
+
+func TestBLIFCycleNamesGates(t *testing.T) {
+	err := readBLIFErr(t, `
+.model bad
+.inputs a
+.outputs y
+.gate nand2 A=a B=q O=p
+.gate nand2 A=a B=p O=q
+.gate inv A=p O=y
+.end
+`)
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	msg := err.Error()
+	// The diagnostic names the stuck gates with their source lines.
+	if !strings.Contains(msg, "p (line 5)") || !strings.Contains(msg, "q (line 6)") {
+		t.Fatalf("cycle diagnostic %q does not name the cycle gates", msg)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 0 {
+		t.Fatalf("cycle diagnostic should have no single line anchor, got %v", err)
+	}
+}
+
+func TestBLIFDuplicateInput(t *testing.T) {
+	err := readBLIFErr(t, `
+.model bad
+.inputs a a
+.outputs y
+.gate inv A=a O=y
+.end
+`)
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v, want ErrDuplicateName", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Format != "blif" {
+		t.Fatalf("err %v should surface as a blif ParseError", err)
+	}
+}
+
+func TestBLIFUnknownOutput(t *testing.T) {
+	err := readBLIFErr(t, `
+.model bad
+.inputs a
+.outputs nope
+.gate inv A=a O=y
+.end
+`)
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestBenchPositionalErrors(t *testing.T) {
+	_, err := ReadBench(strings.NewReader(`INPUT(a)
+OUTPUT(y)
+y = DFF(a)
+`))
+	if err == nil {
+		t.Fatal("ReadBench accepted a sequential element")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not a *ParseError", err)
+	}
+	if pe.Format != "bench" || pe.Line != 3 {
+		t.Fatalf("position = %s:%d, want bench:3", pe.Format, pe.Line)
+	}
+	if !strings.HasPrefix(err.Error(), "bench:3: ") {
+		t.Fatalf("rendering %q lacks the bench:3: prefix", err.Error())
+	}
+}
+
+func TestBenchUndrivenNet(t *testing.T) {
+	_, err := ReadBench(strings.NewReader(`INPUT(a)
+OUTPUT(y)
+y = NAND(a, ghost)
+`))
+	if err == nil {
+		t.Fatal("ReadBench accepted an undriven fanin")
+	}
+	if !errors.Is(err, ErrUndriven) {
+		t.Fatalf("err = %v, want ErrUndriven", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Format != "bench" {
+		t.Fatalf("err %v should surface as a bench ParseError", err)
+	}
+}
+
+func TestParseErrorRendering(t *testing.T) {
+	withLine := &ParseError{Format: "blif", Line: 12, Err: errors.New("boom")}
+	if got := withLine.Error(); got != "blif:12: boom" {
+		t.Fatalf("rendering = %q, want \"blif:12: boom\"", got)
+	}
+	spanning := &ParseError{Format: "bench", Err: errors.New("boom")}
+	if got := spanning.Error(); got != "bench: boom" {
+		t.Fatalf("rendering = %q, want \"bench: boom\"", got)
+	}
+}
+
+// TestGoodNetlistStillParses guards against the validation layer
+// rejecting well-formed input.
+func TestGoodNetlistStillParses(t *testing.T) {
+	c, err := ReadBLIF(strings.NewReader(`
+.model ok
+.inputs a b
+.outputs y
+.gate nand2 A=a B=b O=n1
+.gate inv A=n1 O=y
+.end
+`))
+	if err != nil {
+		t.Fatalf("ReadBLIF: %v", err)
+	}
+	if len(c.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1", len(c.Outputs))
+	}
+}

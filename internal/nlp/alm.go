@@ -1,6 +1,8 @@
 package nlp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -19,6 +21,11 @@ const (
 	// NewtonCG is a truncated Newton conjugate-gradient method using
 	// exact element Hessians, the LANCELOT-style second-order path.
 	NewtonCG
+	// ProjGrad is projected steepest descent with Armijo backtracking:
+	// the slowest but most robust inner method, and the bottom rung of
+	// the degradation ladder. It never consults curvature, so no
+	// history can be poisoned by a transient numerical failure.
+	ProjGrad
 )
 
 func (m Method) String() string {
@@ -27,8 +34,23 @@ func (m Method) String() string {
 		return "lbfgs"
 	case NewtonCG:
 		return "newton-cg"
+	case ProjGrad:
+		return "projgrad"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ladderFor returns the degradation ladder starting at m: each rung is
+// strictly more conservative than the one before it.
+func ladderFor(m Method) []Method {
+	switch m {
+	case NewtonCG:
+		return []Method{NewtonCG, LBFGS, ProjGrad}
+	case LBFGS:
+		return []Method{LBFGS, ProjGrad}
+	default:
+		return []Method{ProjGrad}
 	}
 }
 
@@ -64,12 +86,33 @@ type Options struct {
 	// share mutable state; one element's callbacks are never invoked
 	// concurrently with each other.
 	Workers int
+	// RecoveryBudget bounds the automatic non-finite recovery attempts
+	// per ladder rung (default 5). When a merit or gradient evaluation
+	// at an accepted iterate turns out NaN/Inf, the solver restores the
+	// last finite iterate, relaxes the penalty and retries; once the
+	// budget is exhausted it steps down the degradation ladder, and
+	// only with no rung left does it return NumericalFailure.
+	RecoveryBudget int
+	// CheckpointPath, when non-empty, makes the solver serialize its
+	// resumable state (iterate, multipliers, penalty, counters) to this
+	// file — atomically, via a temp file and rename — every
+	// CheckpointEvery completed outer iterations and on cancellation.
+	CheckpointPath string
+	// CheckpointEvery is the outer-iteration interval between
+	// checkpoint writes (default 1).
+	CheckpointEvery int
+	// Resume, when non-nil, restores the solver state captured by a
+	// previous run's checkpoint before iterating. A resumed solve is
+	// bit-identical to the uninterrupted one: every Result field except
+	// the wall-clock durations matches exactly.
+	Resume *Checkpoint
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 	// Recorder, when non-nil, receives solver telemetry: one "alm.outer"
 	// event per outer iteration (merit, KKT residual, constraint
 	// violation, penalty, step norm), one "lbfgs.iter" / "newton.iter"
-	// event per inner iteration, and the engine's evaluation counters
+	// event per inner iteration, "alm.recover" / "alm.degrade" events
+	// from the resilience layer, and the engine's evaluation counters
 	// and dispatch timings at the end of the solve. Event content is
 	// deterministic: traces are byte-identical for every Workers value.
 	// A nil Recorder costs one branch and zero allocations per
@@ -99,13 +142,20 @@ func (o Options) withDefaults() Options {
 	if o.Memory == 0 {
 		o.Memory = 10
 	}
+	if o.RecoveryBudget == 0 {
+		o.RecoveryBudget = 5
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
 	return o
 }
 
 // Status reports how the solver terminated.
 type Status int
 
-// Solver termination statuses.
+// Solver termination statuses. The integer values are stable: traces
+// record them, so new statuses are appended, never reordered.
 const (
 	// Converged: KKT conditions met to tolerance.
 	Converged Status = iota
@@ -114,6 +164,16 @@ const (
 	// Stalled: no further progress was possible (line-search failure
 	// at the final tolerances), the result may still be usable.
 	Stalled
+	// Cancelled: the context was cancelled mid-solve; X carries the
+	// best iterate reached before the cancellation was observed.
+	Cancelled
+	// DeadlineExceeded: the context deadline passed mid-solve; X
+	// carries the best iterate reached before the deadline.
+	DeadlineExceeded
+	// NumericalFailure: non-finite merit/gradient values persisted
+	// through the recovery budget on every rung of the degradation
+	// ladder. X carries the last finite iterate.
+	NumericalFailure
 )
 
 func (s Status) String() string {
@@ -124,9 +184,26 @@ func (s Status) String() string {
 		return "max iterations"
 	case Stalled:
 		return "stalled"
+	case Cancelled:
+		return "cancelled"
+	case DeadlineExceeded:
+		return "deadline exceeded"
+	case NumericalFailure:
+		return "numerical failure"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
+}
+
+// Failed reports whether the status means the solve did not run to a
+// normal completion: cancelled, past its deadline, or numerically
+// broken. The iterate in Result.X is still the best one available.
+func (s Status) Failed() bool {
+	switch s {
+	case Cancelled, DeadlineExceeded, NumericalFailure:
+		return true
+	}
+	return false
 }
 
 // Result is the solver output.
@@ -134,9 +211,16 @@ type Result struct {
 	X      []float64
 	F      float64 // objective (not merit) value at X
 	Status Status
+	// Method is the inner method that produced the final iterate; it
+	// differs from Options.Method when the degradation ladder stepped
+	// down.
+	Method Method
 	// Outer and Inner count outer iterations and total inner
 	// iterations.
 	Outer, Inner int
+	// Recoveries counts non-finite recovery events (alm.recover) over
+	// the whole solve.
+	Recoveries int
 	// ProjGradNorm is the final projected-gradient infinity norm of
 	// the augmented Lagrangian.
 	ProjGradNorm float64
@@ -182,6 +266,18 @@ type almState struct {
 	// outer iteration (1-based), tagged onto inner-solver events.
 	rec   telemetry.Recorder
 	outer int
+	// finite reports whether the last merit evaluation produced only
+	// finite values (merit, element values, gradient); badElem is the
+	// serial index of the first offending element, -1 when none. Both
+	// are refreshed by every merit call.
+	finite  bool
+	badElem int
+	// done is the solve context's cancellation channel (nil when the
+	// context cannot be cancelled); stopped latches the first observed
+	// cancellation. Polling is a single non-blocking select, so the
+	// iteration-boundary checks stay allocation-free.
+	done    <-chan struct{}
+	stopped bool
 }
 
 func newALMState(p *Problem, rho float64, workers int, rec telemetry.Recorder) *almState {
@@ -193,9 +289,31 @@ func newALMState(p *Problem, rho float64, workers int, rec telemetry.Recorder) *
 		cEq:     make([]float64, len(p.EqCons)),
 		cIneq:   make([]float64, len(p.IneqCons)),
 		rec:     rec,
+		finite:  true,
+		badElem: -1,
 	}
 	s.eng = newEngine(p, s, workers)
 	return s
+}
+
+// stop reports whether the solve's context has been cancelled. It is
+// called at outer- and inner-iteration boundaries only; the engine's
+// compute phases always run to their barrier, so a cancelled solve
+// still holds a consistent state.
+func (s *almState) stop() bool {
+	if s.stopped {
+		return true
+	}
+	if s.done == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		s.stopped = true
+		return true
+	default:
+		return false
+	}
 }
 
 // objective returns the raw objective value at x.
@@ -222,14 +340,27 @@ func (s *almState) objective(x []float64) float64 {
 // chain-rule factor), which the gradient dispatch uses to skip
 // elements that cannot contribute — inactive inequalities exactly as
 // the serial code always did.
+//
+// The fold doubles as the solver's non-finite guard: every element
+// value and the assembled gradient are screened with the x-x != 0
+// trick (true exactly for NaN and ±Inf), setting s.finite / s.badElem
+// without branching into any allocation.
 func (s *almState) merit(x []float64, grad []float64) float64 {
 	s.fnEvals++
+	s.finite, s.badElem = true, -1
 	e := s.eng
 	e.x = x
 	e.dispatch(modeEval)
 	var phi float64
 	for i := range e.refs {
 		r := &e.refs[i]
+		if r.val-r.val != 0 {
+			// NaN or ±Inf element value; an inactive inequality would
+			// otherwise hide it from phi.
+			if s.badElem < 0 {
+				s.finite, s.badElem = false, i
+			}
+		}
 		switch r.kind {
 		case elObjective:
 			phi += r.val
@@ -253,6 +384,9 @@ func (s *almState) merit(x []float64, grad []float64) float64 {
 			}
 		}
 	}
+	if phi-phi != 0 {
+		s.finite = false
+	}
 	if grad == nil {
 		return phi
 	}
@@ -269,6 +403,16 @@ func (s *almState) merit(x []float64, grad []float64) float64 {
 		for k, v := range r.el.Vars {
 			grad[v] += r.w * lg[k]
 		}
+	}
+	// One accumulation pass detects any non-finite gradient entry: a
+	// NaN/Inf component makes the sum non-finite (a finite overflow
+	// would too, and such a gradient is equally unusable).
+	var acc float64
+	for _, g := range grad {
+		acc += g
+	}
+	if acc-acc != 0 {
+		s.finite = false
 	}
 	return phi
 }
@@ -309,8 +453,18 @@ func projGradNorm(p *Problem, x, grad []float64) float64 {
 	return norm
 }
 
-// Solve runs the augmented-Lagrangian method from x0.
+// Solve runs the augmented-Lagrangian method from x0 without a
+// cancellation context; see SolveCtx.
 func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, x0, opt)
+}
+
+// SolveCtx runs the augmented-Lagrangian method from x0 under ctx.
+// Cancellation is polled at outer- and inner-iteration boundaries
+// (never mid-evaluation, so the zero-allocation hot paths are
+// untouched); a cancelled run returns a Result with the Cancelled or
+// DeadlineExceeded status and the best iterate reached, not an error.
+func SolveCtx(ctx context.Context, p *Problem, x0 []float64, opt Options) (*Result, error) {
 	t0 := time.Now()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -328,6 +482,7 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 
 	st := newALMState(p, opt.RhoInit, opt.Workers, opt.Recorder)
 	defer st.eng.close()
+	st.done = ctx.Done()
 	res := &Result{}
 	rec := opt.Recorder
 	// xPrev backs the per-outer step norm; allocated only when someone
@@ -336,6 +491,10 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 	if rec != nil || opt.Logf != nil {
 		xPrev = make([]float64, len(x))
 	}
+	// xSafe holds the last iterate whose merit evaluated finite: the
+	// restore point of the non-finite recovery path.
+	xSafe := make([]float64, len(x))
+	haveSafe := false
 
 	constrained := len(p.EqCons)+len(p.IneqCons) > 0
 	// LANCELOT-style tolerance schedule.
@@ -345,18 +504,100 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		omega = opt.TolGrad
 	}
 
-	var inner innerSolver
-	switch opt.Method {
-	case LBFGS:
-		inner = newLBFGSSolver(p, st, opt)
-	case NewtonCG:
-		inner = newNewtonSolver(p, st, opt)
-	default:
-		return nil, fmt.Errorf("nlp: unknown method %v", opt.Method)
+	// The degradation ladder: rung 0 is the requested method; repeated
+	// inner failure or an exhausted recovery budget steps down.
+	ladder := ladderFor(opt.Method)
+	rung := 0
+	failStreak := 0
+	recov := 0 // recoveries on the current rung
+	makeInner := func(m Method) (innerSolver, error) {
+		switch m {
+		case LBFGS:
+			return newLBFGSSolver(p, st, opt), nil
+		case NewtonCG:
+			return newNewtonSolver(p, st, opt), nil
+		case ProjGrad:
+			return newPGSolver(p, st, opt), nil
+		default:
+			return nil, fmt.Errorf("nlp: unknown method %v", m)
+		}
+	}
+
+	outerStart := 0
+	if ck := opt.Resume; ck != nil {
+		if err := ck.validate(p); err != nil {
+			return nil, err
+		}
+		outerStart = ck.Outer
+		copy(x, ck.X)
+		p.project(x)
+		copy(st.lamEq, ck.LamEq)
+		copy(st.lamIneq, ck.LamIneq)
+		st.rho = ck.Rho
+		omega, eta = ck.Omega, ck.Eta
+		st.fnEvals, st.objEvals = ck.FuncEvals, ck.ObjEvals
+		res.Inner = ck.Inner
+		res.Outer = ck.Outer
+		res.Recoveries = ck.Recoveries
+		recov, failStreak = ck.RungRecoveries, ck.FailStreak
+		if ck.Rung > 0 {
+			if ck.Rung >= len(ladder) {
+				return nil, fmt.Errorf("nlp: checkpoint rung %d exceeds the %v ladder", ck.Rung, opt.Method)
+			}
+			rung = ck.Rung
+		}
+		if ck.HaveSafe {
+			copy(xSafe, ck.XSafe)
+			haveSafe = true
+		}
+	}
+
+	inner, err := makeInner(ladder[rung])
+	if err != nil {
+		return nil, err
+	}
+
+	// entry snapshots the state at the top of each outer iteration: a
+	// boundary-consistent resume point. Interval writes flush it after
+	// every CheckpointEvery completed iterations; a cancellation —
+	// which can land mid-iteration, where the live state is *not* a
+	// valid boundary — flushes the entry snapshot too, so resuming
+	// always replays the interrupted iteration in full and the resumed
+	// run stays bit-identical to an uninterrupted one.
+	var entry *Checkpoint
+	if opt.CheckpointPath != "" {
+		entry = &Checkpoint{
+			X:     make([]float64, len(x)),
+			XSafe: make([]float64, len(x)),
+			LamEq: make([]float64, len(st.lamEq)), LamIneq: make([]float64, len(st.lamIneq)),
+		}
+	}
+	captureEntry := func(next int) {
+		entry.Outer, entry.Inner = next, res.Inner
+		entry.FuncEvals, entry.ObjEvals = st.fnEvals, st.objEvals
+		entry.Recoveries, entry.RungRecoveries = res.Recoveries, recov
+		entry.Rung, entry.FailStreak = rung, failStreak
+		entry.Rho, entry.Omega, entry.Eta = st.rho, omega, eta
+		copy(entry.X, x)
+		copy(entry.XSafe, xSafe)
+		copy(entry.LamEq, st.lamEq)
+		copy(entry.LamIneq, st.lamIneq)
+		entry.HaveSafe = haveSafe
 	}
 
 	res.SetupTime = time.Since(t0)
-	for outer := 0; outer < opt.MaxOuter; outer++ {
+	for outer := outerStart; outer < opt.MaxOuter; outer++ {
+		if entry != nil {
+			captureEntry(outer)
+			if outer > outerStart && (outer-outerStart)%opt.CheckpointEvery == 0 {
+				if err := SaveCheckpoint(opt.CheckpointPath, entry); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if st.stop() {
+			break
+		}
 		res.Outer = outer + 1
 		st.outer = outer + 1
 		if xPrev != nil {
@@ -371,6 +612,59 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 
 		// Refresh constraint caches at the solution point.
 		phi := st.merit(x, nil)
+		if !st.finite {
+			// Non-finite merit at the accepted iterate: restore the last
+			// finite point, relax the penalty, and retry under the
+			// recovery budget; an exhausted budget steps down the ladder
+			// before giving up with NumericalFailure.
+			res.Recoveries++
+			recov++
+			if rec != nil {
+				rec.Event("alm", "recover",
+					telemetry.I("iter", outer+1),
+					telemetry.I("count", res.Recoveries),
+					telemetry.I("elem", st.badElem),
+					telemetry.F("rho", st.rho),
+				)
+			}
+			if opt.Logf != nil {
+				opt.Logf("outer %d: non-finite merit (element %d), recovery %d",
+					outer+1, st.badElem, res.Recoveries)
+			}
+			if haveSafe {
+				copy(x, xSafe)
+			}
+			if recov > opt.RecoveryBudget {
+				if rung+1 < len(ladder) {
+					rung++
+					recov, failStreak = 0, 0
+					if inner, err = makeInner(ladder[rung]); err != nil {
+						return nil, err
+					}
+					if rec != nil {
+						rec.Event("alm", "degrade",
+							telemetry.I("iter", outer+1),
+							telemetry.I("method", int(ladder[rung])),
+						)
+					}
+					if opt.Logf != nil {
+						opt.Logf("outer %d: degrading inner solver to %v", outer+1, ladder[rung])
+					}
+					continue
+				}
+				res.Status = NumericalFailure
+				break
+			}
+			st.rho = math.Max(opt.RhoInit, st.rho/10)
+			omega = 1.0 / st.rho
+			eta = math.Pow(st.rho, -0.1)
+			if !constrained {
+				omega = opt.TolGrad
+			}
+			continue
+		}
+		copy(xSafe, x)
+		haveSafe = true
 		viol := st.violation()
 		res.MaxViolation = viol
 		if xPrev != nil {
@@ -401,6 +695,38 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 				opt.Logf("outer %d: rho=%.3g viol=%.3g pg=%.3g f=%.8g",
 					outer+1, st.rho, viol, pg, f)
 			}
+		}
+
+		if st.stop() {
+			break
+		}
+
+		// Degradation ladder on repeated inner failure: an inner solve
+		// that cannot take a single step while the projected gradient
+		// still exceeds tolerance has broken down (poisoned curvature,
+		// non-finite Hessian products); step down to a more conservative
+		// method instead of stalling out.
+		if iters == 0 && pg > tol {
+			failStreak++
+			if rung+1 < len(ladder) && (failStreak >= 2 || !constrained) {
+				rung++
+				recov, failStreak = 0, 0
+				if inner, err = makeInner(ladder[rung]); err != nil {
+					return nil, err
+				}
+				if rec != nil {
+					rec.Event("alm", "degrade",
+						telemetry.I("iter", outer+1),
+						telemetry.I("method", int(ladder[rung])),
+					)
+				}
+				if opt.Logf != nil {
+					opt.Logf("outer %d: degrading inner solver to %v", outer+1, ladder[rung])
+				}
+				continue
+			}
+		} else {
+			failStreak = 0
 		}
 
 		if !constrained {
@@ -437,8 +763,26 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 		res.Status = MaxIterations
 	}
 
+	if st.stopped && res.Status != NumericalFailure {
+		res.Status = Cancelled
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			res.Status = DeadlineExceeded
+		}
+		// Persist the boundary-consistent resume point captured at the
+		// top of the interrupted iteration.
+		if entry != nil {
+			if err := SaveCheckpoint(opt.CheckpointPath, entry); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if res.Status == NumericalFailure && haveSafe {
+		copy(x, xSafe)
+	}
+
 	res.X = x
 	res.F = st.objective(x)
+	res.Method = ladder[rung]
 	res.LambdaEq = st.lamEq
 	res.LambdaIneq = st.lamIneq
 	res.FuncEvals = st.fnEvals
@@ -454,6 +798,8 @@ func Solve(p *Problem, x0 []float64, opt Options) (*Result, error) {
 			telemetry.F("viol", res.MaxViolation),
 			telemetry.I("fn_evals", res.FuncEvals),
 			telemetry.I("obj_evals", res.ObjEvals),
+			telemetry.I("recoveries", res.Recoveries),
+			telemetry.I("method", int(res.Method)),
 		)
 		st.eng.publish(rec)
 		rec.Span("nlp.solve", res.Duration)

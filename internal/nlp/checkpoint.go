@@ -1,0 +1,92 @@
+package nlp
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// checkpointKind tags ALM checkpoints inside the versioned envelope of
+// internal/checkpoint.
+const checkpointKind = "nlp.alm"
+
+// Checkpoint is the resumable state of an augmented-Lagrangian solve,
+// captured at an outer-iteration boundary. Loading one into
+// Options.Resume replays the remaining iterations exactly: every
+// Result field except the wall-clock durations is bit-identical to the
+// uninterrupted run, because JSON round-trips float64 exactly and the
+// solver trajectory is a pure function of this state.
+type Checkpoint struct {
+	// Outer is the 0-based index of the next outer iteration to run;
+	// Inner, FuncEvals and ObjEvals restore the cost counters so the
+	// resumed Result reports whole-solve totals.
+	Outer     int `json:"outer"`
+	Inner     int `json:"inner"`
+	FuncEvals int `json:"func_evals"`
+	ObjEvals  int `json:"obj_evals"`
+	// Recoveries is the whole-solve non-finite recovery count;
+	// RungRecoveries the count on the current ladder rung; Rung the
+	// degradation-ladder position; FailStreak the consecutive
+	// zero-progress inner solves.
+	Recoveries     int `json:"recoveries"`
+	RungRecoveries int `json:"rung_recoveries"`
+	Rung           int `json:"rung"`
+	FailStreak     int `json:"fail_streak"`
+	// Rho, Omega and Eta are the penalty parameter and the LANCELOT
+	// tolerance schedule.
+	Rho   float64 `json:"rho"`
+	Omega float64 `json:"omega"`
+	Eta   float64 `json:"eta"`
+	// X is the iterate; XSafe the last finite iterate (valid when
+	// HaveSafe); LamEq/LamIneq the multiplier estimates.
+	X        []float64 `json:"x"`
+	XSafe    []float64 `json:"x_safe,omitempty"`
+	HaveSafe bool      `json:"have_safe"`
+	LamEq    []float64 `json:"lam_eq"`
+	LamIneq  []float64 `json:"lam_ineq"`
+	// RNGStreams reserves substream positions for samplers layered on
+	// top of the solver (e.g. Monte Carlo validation shards); the core
+	// ALM does not consume randomness, so it records none. The field
+	// keeps the schema stable for those layers.
+	RNGStreams []int64 `json:"rng_streams,omitempty"`
+}
+
+// validate checks that the checkpoint dimensions match the problem it
+// is being resumed against.
+func (c *Checkpoint) validate(p *Problem) error {
+	if len(c.X) != p.N {
+		return fmt.Errorf("nlp: checkpoint has %d variables, problem has %d", len(c.X), p.N)
+	}
+	if c.HaveSafe && len(c.XSafe) != p.N {
+		return fmt.Errorf("nlp: checkpoint safe iterate has %d variables, problem has %d", len(c.XSafe), p.N)
+	}
+	if len(c.LamEq) != len(p.EqCons) {
+		return fmt.Errorf("nlp: checkpoint has %d equality multipliers, problem has %d",
+			len(c.LamEq), len(p.EqCons))
+	}
+	if len(c.LamIneq) != len(p.IneqCons) {
+		return fmt.Errorf("nlp: checkpoint has %d inequality multipliers, problem has %d",
+			len(c.LamIneq), len(p.IneqCons))
+	}
+	if c.Outer < 0 || c.Rung < 0 || c.Rho <= 0 {
+		return fmt.Errorf("nlp: checkpoint is malformed (outer %d, rung %d, rho %g)",
+			c.Outer, c.Rung, c.Rho)
+	}
+	return nil
+}
+
+// SaveCheckpoint atomically writes the checkpoint to path in the
+// versioned JSON envelope of internal/checkpoint.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	return checkpoint.Save(path, checkpointKind, c)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint,
+// validating the envelope version and kind.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{}
+	if err := checkpoint.Load(path, checkpointKind, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

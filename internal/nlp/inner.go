@@ -148,6 +148,9 @@ func (sl *lbfgsSolver) minimize(x []float64, tol float64) (int, float64) {
 	pg := projGradNorm(sl.p, x, sl.grad)
 	iters := 0
 	for ; iters < sl.opt.MaxInner && pg > tol; iters++ {
+		if st.stop() {
+			break
+		}
 		sl.direction(x, sl.grad)
 		// Directional derivative along the projected direction.
 		var gd float64
@@ -214,6 +217,12 @@ func (sl *lbfgsSolver) lineSearch(x []float64, phi, gd float64) (float64, bool) 
 // projection shortens the step; gd (= grad . d) is the fallback for
 // fully interior steps. A step that projection reduces to no movement
 // is rejected — it cannot make progress.
+//
+// A trial whose merit or gradient evaluates non-finite (st.finite,
+// screened in the merit fold) is treated exactly like a failed Armijo
+// test: the step is halved and retried. This is the first line of
+// non-finite recovery — a transient NaN/Inf is backtracked away from
+// before it can be accepted into the iterate or the curvature history.
 func projectedArmijo(p *Problem, st *almState, x, grad, d, xNew, gNew []float64, phi, gd float64) (float64, bool) {
 	const (
 		c1          = 1e-4
@@ -226,20 +235,22 @@ func projectedArmijo(p *Problem, st *almState, x, grad, d, xNew, gNew []float64,
 		}
 		p.project(xNew)
 		phiNew := st.merit(xNew, gNew)
-		var ref float64
-		for k := range x {
-			ref += grad[k] * (xNew[k] - x[k])
-		}
-		if ref > 0 {
-			ref = alpha * gd
-		}
-		if phiNew <= phi+c1*ref {
+		if st.finite {
+			var ref float64
 			for k := range x {
-				if xNew[k] != x[k] {
-					return phiNew, true
-				}
+				ref += grad[k] * (xNew[k] - x[k])
 			}
-			return phi, false
+			if ref > 0 {
+				ref = alpha * gd
+			}
+			if phiNew <= phi+c1*ref {
+				for k := range x {
+					if xNew[k] != x[k] {
+						return phiNew, true
+					}
+				}
+				return phi, false
+			}
 		}
 		alpha *= 0.5
 	}

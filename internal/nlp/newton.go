@@ -23,6 +23,11 @@ type newtonSolver struct {
 	grad, xNew, gNew, d []float64
 	r, z, hz            []float64 // CG work vectors
 	free                []bool
+	// broken latches a non-finite Hessian-vector product within one
+	// minimize call: the second-order model is unusable, so the whole
+	// inner solve aborts and the outer loop's degradation ladder takes
+	// over (rather than silently limping along on steepest descent).
+	broken bool
 }
 
 func newNewtonSolver(p *Problem, st *almState, opt Options) *newtonSolver {
@@ -79,16 +84,30 @@ func (ns *newtonSolver) hessVec(v, out []float64) {
 			}
 		}
 	}
+	// Screen the product: one accumulation pass turns any NaN/Inf entry
+	// into a non-finite sum (the x-x != 0 test is true exactly for
+	// those), without allocating or branching per entry.
+	var acc float64
+	for _, o := range out {
+		acc += o
+	}
+	if acc-acc != 0 {
+		ns.broken = true
+	}
 }
 
 func (ns *newtonSolver) minimize(x []float64, tol float64) (int, float64) {
 	st := ns.st
+	ns.broken = false
 	phi := st.merit(x, ns.grad)
 	pg := projGradNorm(ns.p, x, ns.grad)
 	// Trust radius for the Steihaug CG; adapted across iterations.
 	radius := 10.0
 	iters := 0
 	for ; iters < ns.opt.MaxInner && pg > tol; iters++ {
+		if st.stop() {
+			break
+		}
 		// Free variables: not pinned at a bound with an outward
 		// gradient.
 		for k := range x {
@@ -109,6 +128,12 @@ func (ns *newtonSolver) minimize(x []float64, tol float64) (int, float64) {
 		progressed := false
 		for attempt := 0; attempt < 20; attempt++ {
 			ns.cg(radius)
+			if ns.broken {
+				// A non-finite H*v poisoned the CG state; abort the
+				// inner solve so the outer loop can degrade to a
+				// first-order method.
+				return iters, pg
+			}
 			var gd float64
 			for k := range x {
 				gd += ns.grad[k] * ns.d[k]
@@ -207,6 +232,9 @@ func (ns *newtonSolver) cg(radius float64) {
 	var dd float64 // ||d||^2
 	for it := 0; it < maxCG; it++ {
 		ns.hessVec(z, hz)
+		if ns.broken {
+			return
+		}
 		var zHz, zz, dz float64
 		for k := 0; k < n; k++ {
 			zHz += z[k] * hz[k]

@@ -1,0 +1,73 @@
+package nlp
+
+import (
+	"repro/internal/telemetry"
+)
+
+// pgSolver is projected steepest descent with Armijo backtracking: the
+// bottom rung of the degradation ladder. It keeps no state between
+// steps — no curvature history, no second-order cache — so nothing a
+// transient numerical failure could poison survives into the next
+// iteration. Convergence is slow but each accepted step is a plain
+// sufficient-decrease move along the negative gradient, the most
+// robust primitive the solver has.
+type pgSolver struct {
+	p   *Problem
+	st  *almState
+	opt Options
+
+	grad, xNew, gNew, d []float64
+}
+
+func newPGSolver(p *Problem, st *almState, opt Options) *pgSolver {
+	return &pgSolver{
+		p: p, st: st, opt: opt,
+		grad: make([]float64, p.N),
+		xNew: make([]float64, p.N),
+		gNew: make([]float64, p.N),
+		d:    make([]float64, p.N),
+	}
+}
+
+func (ps *pgSolver) minimize(x []float64, tol float64) (int, float64) {
+	st := ps.st
+	phi := st.merit(x, ps.grad)
+	pg := projGradNorm(ps.p, x, ps.grad)
+	iters := 0
+	for ; iters < ps.opt.MaxInner && pg > tol; iters++ {
+		if st.stop() {
+			break
+		}
+		var gd float64
+		for k := range x {
+			ps.d[k] = -ps.grad[k]
+			if x[k] <= ps.p.lower(k)+1e-12 && ps.d[k] < 0 {
+				ps.d[k] = 0
+			}
+			if x[k] >= ps.p.upper(k)-1e-12 && ps.d[k] > 0 {
+				ps.d[k] = 0
+			}
+			gd += ps.grad[k] * ps.d[k]
+		}
+		if gd >= 0 {
+			break // projected gradient is zero: at a KKT point
+		}
+		phiNew, ok := projectedArmijo(ps.p, st, x, ps.grad, ps.d, ps.xNew, ps.gNew, phi, gd)
+		if !ok {
+			break
+		}
+		copy(x, ps.xNew)
+		copy(ps.grad, ps.gNew)
+		phi = phiNew
+		pg = projGradNorm(ps.p, x, ps.grad)
+		if st.rec != nil {
+			st.rec.Event("projgrad", "iter",
+				telemetry.I("outer", st.outer),
+				telemetry.I("iter", iters+1),
+				telemetry.F("phi", phi),
+				telemetry.F("pg", pg),
+			)
+		}
+	}
+	return iters, pg
+}

@@ -1,6 +1,7 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -421,7 +422,8 @@ func arrivalSigmaElement(sAVar, sUVar, sTVar int, sUConst float64) nlp.Element {
 }
 
 // solveFullSpace builds and solves the paper's eq 17/18 formulation.
-func solveFullSpace(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
+// ctx cancels the solve at ALM iteration boundaries.
+func solveFullSpace(ctx context.Context, m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	p, l, x0, err := buildFullSpace(m, spec)
 	if err != nil {
 		return nil, nil, err
@@ -435,7 +437,7 @@ func solveFullSpace(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	if opt.Recorder == nil {
 		opt.Recorder = spec.Recorder
 	}
-	res, err := nlp.Solve(p, x0, opt)
+	res, err := nlp.SolveCtx(ctx, p, x0, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/delay"
@@ -48,6 +49,29 @@ type GreedyResult struct {
 
 // SizeGreedy runs the sensitivity heuristic.
 func SizeGreedy(m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
+	return SizeGreedyCtx(context.Background(), m, opt)
+}
+
+// cancelled polls a context's done channel without blocking.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// SizeGreedyCtx runs the sensitivity heuristic under a cancellation
+// context. Cancellation is polled once per sensitivity step: a
+// cancelled run stops bumping gates but still clamps and analyzes the
+// partial sizing, so the caller always receives a valid (if
+// unfinished) result — the greedy sizer is the bottom of the
+// degradation ladder and must not fail.
+func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
 	if opt.Deadline <= 0 {
 		return nil, fmt.Errorf("sizing: greedy needs a positive deadline, got %v", opt.Deadline)
 	}
@@ -62,10 +86,14 @@ func SizeGreedy(m *delay.Model, opt GreedyOptions) (*GreedyResult, error) {
 		opt.MaxSteps = 200 * len(gates)
 	}
 
+	done := ctx.Done()
 	S := m.UnitSizes()
 	res := &GreedyResult{}
 	rec := opt.Recorder
 	for ; res.Steps < opt.MaxSteps; res.Steps++ {
+		if cancelled(done) {
+			break
+		}
 		phi, grad := ssta.GradMuPlusKSigmaWorkersRec(m, S, opt.K, opt.Workers, rec)
 		if rec != nil {
 			rec.Event("greedy", "step",

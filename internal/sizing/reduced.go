@@ -1,6 +1,7 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -101,8 +102,10 @@ func (re *reducedEval) sigmaElement(vars []int, sign float64) nlp.Element {
 }
 
 // solveReduced builds and solves the reduced formulation, returning
-// the NLP result and the speed factors indexed by NodeID.
-func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
+// the NLP result and the speed factors indexed by NodeID. ctx cancels
+// the solve at ALM iteration boundaries; the result then carries the
+// best-so-far iterate with a Cancelled or DeadlineExceeded status.
+func solveReduced(ctx context.Context, m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 	gates := m.G.C.GateIDs()
 	n := len(gates)
 	if n == 0 {
@@ -183,7 +186,7 @@ func solveReduced(m *delay.Model, spec Spec) (*nlp.Result, []float64, error) {
 		opt.Recorder = spec.Recorder
 	}
 
-	res, err := nlp.Solve(p, x0, opt)
+	res, err := nlp.SolveCtx(ctx, p, x0, opt)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -23,6 +23,7 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -245,6 +246,10 @@ type Outcome struct {
 	SumS float64
 	// Solver carries the raw NLP result.
 	Solver *nlp.Result
+	// Fallback reports that the NLP solver returned NumericalFailure
+	// and S instead comes from the greedy sensitivity sizer — a valid
+	// if conservative sizing, the bottom of the degradation ladder.
+	Fallback bool
 	// Runtime is the wall-clock solve time (the paper's CPU column).
 	Runtime time.Duration
 }
@@ -265,8 +270,21 @@ func perturbStart(x0 []float64, limit float64) {
 	}
 }
 
-// Size solves the sizing problem described by spec on the model.
+// Size solves the sizing problem described by spec on the model
+// without a cancellation context; see SizeCtx.
 func Size(m *delay.Model, spec Spec) (*Outcome, error) {
+	return SizeCtx(context.Background(), m, spec)
+}
+
+// SizeCtx solves the sizing problem described by spec on the model
+// under ctx. Cancellation propagates into the NLP solver's iteration
+// boundaries: a cancelled run returns the best-so-far sizing with
+// Outcome.Solver.Status reporting Cancelled or DeadlineExceeded. When
+// the solver exhausts its numerical-recovery budget (NumericalFailure)
+// and the spec carries a mu+K*sigma deadline, the greedy sensitivity
+// sizer runs as the final fallback so the run still produces a valid
+// sizing; Outcome.Fallback flags it.
+func SizeCtx(ctx context.Context, m *delay.Model, spec Spec) (*Outcome, error) {
 	start := time.Now()
 	var (
 		res *nlp.Result
@@ -275,14 +293,21 @@ func Size(m *delay.Model, spec Spec) (*Outcome, error) {
 	)
 	switch spec.Formulation {
 	case Reduced:
-		res, S, err = solveReduced(m, spec)
+		res, S, err = solveReduced(ctx, m, spec)
 	case FullSpace:
-		res, S, err = solveFullSpace(m, spec)
+		res, S, err = solveFullSpace(ctx, m, spec)
 	default:
 		return nil, fmt.Errorf("sizing: unknown formulation %v", spec.Formulation)
 	}
 	if err != nil {
 		return nil, err
+	}
+	fallback := false
+	if res.Status == nlp.NumericalFailure {
+		if gr := greedyFallback(ctx, m, spec); gr != nil {
+			S = gr.S
+			fallback = true
+		}
 	}
 	m.ClampSizes(S)
 	r := ssta.AnalyzeWorkers(m, S, false, spec.Workers)
@@ -292,9 +317,14 @@ func Size(m *delay.Model, spec Spec) (*Outcome, error) {
 		SigmaTmax: r.Tmax.Sigma(),
 		SumS:      m.SumSizes(S),
 		Solver:    res,
+		Fallback:  fallback,
 		Runtime:   time.Since(start),
 	}
 	if rec := spec.Recorder; rec != nil {
+		fb := 0.0
+		if fallback {
+			fb = 1
+		}
 		rec.Event("sizing", "result",
 			telemetry.F("mu", out.MuTmax),
 			telemetry.F("sigma", out.SigmaTmax),
@@ -302,8 +332,37 @@ func Size(m *delay.Model, spec Spec) (*Outcome, error) {
 			telemetry.I("status", int(res.Status)),
 			telemetry.I("outer", res.Outer),
 			telemetry.I("inner", res.Inner),
+			telemetry.F("fallback", fb),
 		)
 		rec.Span("sizing.total", out.Runtime)
 	}
 	return out, nil
+}
+
+// greedyFallback runs the TILOS-style sensitivity sizer against the
+// spec's first mu+K*sigma deadline after an NLP NumericalFailure. It
+// returns nil when the spec has no such deadline (the heuristic needs
+// a target) or the greedy run itself fails.
+func greedyFallback(ctx context.Context, m *delay.Model, spec Spec) *GreedyResult {
+	for _, c := range spec.Constraints {
+		if c.Kind != ConMuPlusKSigmaLE {
+			continue
+		}
+		gr, err := SizeGreedyCtx(ctx, m, GreedyOptions{
+			K: c.K, Deadline: c.Bound,
+			Workers: spec.Workers, Recorder: spec.Recorder,
+		})
+		if err != nil {
+			return nil
+		}
+		if rec := spec.Recorder; rec != nil {
+			rec.Event("sizing", "fallback",
+				telemetry.F("k", c.K),
+				telemetry.F("deadline", c.Bound),
+				telemetry.I("steps", gr.Steps),
+			)
+		}
+		return gr
+	}
+	return nil
 }

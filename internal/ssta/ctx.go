@@ -1,0 +1,153 @@
+package ssta
+
+import (
+	"context"
+
+	"repro/internal/delay"
+	"repro/internal/stats"
+)
+
+// Context-aware variants of the parallel sweeps. Cancellation is
+// polled between levels only — never inside one — so every runLevel
+// barrier completes and no worker goroutine can outlive a cancelled
+// sweep. A run that is not cancelled is bit-identical to the plain
+// AnalyzeWorkers / BackwardWorkers for every worker count; a cancelled
+// run returns ctx.Err() and no partial result.
+
+// cancelled polls ctx without blocking.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// AnalyzeWorkersCtx is AnalyzeWorkers under a cancellation context.
+// It returns (nil, ctx.Err()) when ctx is cancelled before or between
+// levels; otherwise the result is bit-identical to AnalyzeWorkers.
+func AnalyzeWorkersCtx(ctx context.Context, m *delay.Model, S []float64, withTape bool, workers int) (*Result, error) {
+	done := ctx.Done()
+	if cancelled(done) {
+		return nil, ctx.Err()
+	}
+	workers = resolveWorkers(workers)
+	g := m.G
+	n := len(g.C.Nodes)
+	if workers == 1 || n < parallelMinNodes {
+		workers = 1
+	}
+	r := &Result{
+		Arrival:   make([]stats.MV, n),
+		GateDelay: make([]stats.MV, n),
+		withTape:  withTape,
+	}
+	if withTape {
+		r.gateFold = make([][]stats.Jac2x4, n)
+	}
+	for _, bucket := range g.Levels {
+		if cancelled(done) {
+			return nil, ctx.Err()
+		}
+		runLevel(workers, len(bucket), func(i int) {
+			forwardNode(r, m, S, bucket[i], withTape)
+		})
+	}
+	foldOutputs(r, g, withTape)
+	return r, nil
+}
+
+// BackwardWorkersCtx is BackwardWorkers under a cancellation context:
+// (nil, ctx.Err()) when cancelled between levels, otherwise
+// bit-identical to BackwardWorkers for every worker count.
+func (r *Result) BackwardWorkersCtx(ctx context.Context, m *delay.Model, S []float64, seedMu, seedVar float64, workers int) ([]float64, error) {
+	if !r.withTape {
+		panic("ssta: BackwardWorkersCtx requires a taped Analyze")
+	}
+	done := ctx.Done()
+	if cancelled(done) {
+		return nil, ctx.Err()
+	}
+	workers = resolveWorkers(workers)
+	g := m.G
+	n := len(g.C.Nodes)
+	if workers == 1 || n < parallelMinNodes {
+		workers = 1
+	}
+	adjMu := make([]float64, n)
+	adjVar := make([]float64, n)
+	grad := make([]float64, n)
+	r.seedAdjoint(g, seedMu, seedVar, adjMu, adjVar)
+
+	off := make([]int, n)
+	total := 0
+	for i := range g.C.Nodes {
+		off[i] = total
+		total += len(g.C.Nodes[i].Fanin)
+	}
+	cMu := make([]float64, total)
+	cVar := make([]float64, total)
+	dmu := make([]float64, n)
+
+	for l := len(g.Levels) - 1; l >= 1; l-- {
+		if cancelled(done) {
+			return nil, ctx.Err()
+		}
+		bucket := g.Levels[l]
+		runLevel(workers, len(bucket), func(i int) {
+			id := bucket[i]
+			am, av := adjMu[id], adjVar[id]
+			if am == 0 && av == 0 {
+				return
+			}
+			dmu[id] = am + av*m.Sigma.DVar(r.GateDelay[id].Mu)
+			fanin := g.C.Nodes[id].Fanin
+			uMu, uVar := am, av
+			steps := r.gateFold[id]
+			base := off[id]
+			for k := len(fanin) - 1; k >= 1; k-- {
+				j := steps[k-1]
+				cMu[base+k] = uMu*j[0][2] + uVar*j[1][2]
+				cVar[base+k] = uMu*j[0][3] + uVar*j[1][3]
+				uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+			}
+			cMu[base] = uMu
+			cVar[base] = uVar
+		})
+		for _, id := range bucket {
+			am, av := adjMu[id], adjVar[id]
+			if am == 0 && av == 0 {
+				continue
+			}
+			m.GateMuGrad(id, S, dmu[id], grad)
+			fanin := g.C.Nodes[id].Fanin
+			base := off[id]
+			for k := len(fanin) - 1; k >= 1; k-- {
+				adjMu[fanin[k]] += cMu[base+k]
+				adjVar[fanin[k]] += cVar[base+k]
+			}
+			adjMu[fanin[0]] += cMu[base]
+			adjVar[fanin[0]] += cVar[base]
+		}
+	}
+	return grad, nil
+}
+
+// GradMuPlusKSigmaWorkersCtx is GradMuPlusKSigmaWorkers under a
+// cancellation context.
+func GradMuPlusKSigmaWorkersCtx(ctx context.Context, m *delay.Model, S []float64, k float64, workers int) (float64, []float64, error) {
+	r, err := AnalyzeWorkersCtx(ctx, m, S, true, workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	phi, sMu, sVar := ObjectiveMuPlusKSigma(r.Tmax, k)
+	grad, err := r.BackwardWorkersCtx(ctx, m, S, sMu, sVar, workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	return phi, grad, nil
+}

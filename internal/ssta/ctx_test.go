@@ -1,0 +1,102 @@
+package ssta
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestCtxVariantsBitIdenticalUncancelled: with a background context
+// the ctx-aware sweeps must reproduce the plain parallel sweeps bit
+// for bit, for serial and parallel worker counts alike.
+func TestCtxVariantsBitIdenticalUncancelled(t *testing.T) {
+	for name, m := range parallelTestModels(t) {
+		S := rampSizes(m)
+		ref := AnalyzeWorkers(m, S, true, 1)
+		refPhi, refGrad := GradMuPlusKSigmaWorkers(m, S, 3, 1)
+		for _, workers := range []int{1, 4} {
+			r, err := AnalyzeWorkersCtx(context.Background(), m, S, true, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: AnalyzeWorkersCtx: %v", name, workers, err)
+			}
+			if r.Tmax != ref.Tmax {
+				t.Fatalf("%s workers=%d: Tmax %v != %v", name, workers, r.Tmax, ref.Tmax)
+			}
+			for i := range r.Arrival {
+				if r.Arrival[i] != ref.Arrival[i] {
+					t.Fatalf("%s workers=%d: Arrival[%d] differs", name, workers, i)
+				}
+			}
+			phi, grad, err := GradMuPlusKSigmaWorkersCtx(context.Background(), m, S, 3, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: GradMuPlusKSigmaWorkersCtx: %v", name, workers, err)
+			}
+			if phi != refPhi {
+				t.Fatalf("%s workers=%d: phi %v != %v", name, workers, phi, refPhi)
+			}
+			for i := range grad {
+				if grad[i] != refGrad[i] {
+					t.Fatalf("%s workers=%d: grad[%d] %v != %v", name, workers, i, grad[i], refGrad[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCtxCancelledReturnsErr: a context cancelled before the sweep
+// starts must yield (nil, ctx.Err()) from every ctx variant and no
+// partial result.
+func TestCtxCancelledReturnsErr(t *testing.T) {
+	m := parallelTestModels(t)["tree7"]
+	S := m.UnitSizes()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if r, err := AnalyzeWorkersCtx(ctx, m, S, true, 2); err != context.Canceled || r != nil {
+		t.Fatalf("AnalyzeWorkersCtx = (%v, %v), want (nil, context.Canceled)", r, err)
+	}
+	if phi, grad, err := GradMuPlusKSigmaWorkersCtx(ctx, m, S, 3, 2); err != context.Canceled || grad != nil || phi != 0 {
+		t.Fatalf("GradMuPlusKSigmaWorkersCtx = (%v, %v, %v), want (0, nil, context.Canceled)", phi, grad, err)
+	}
+	// Backward on a tape from an uncancelled forward pass.
+	r, err := AnalyzeWorkersCtx(context.Background(), m, S, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad, err := r.BackwardWorkersCtx(ctx, m, S, 1, 0, 2); err != context.Canceled || grad != nil {
+		t.Fatalf("BackwardWorkersCtx = (%v, %v), want (nil, context.Canceled)", grad, err)
+	}
+}
+
+// TestCtxCancelMidSweepNoGoroutineLeak: cancelling while parallel
+// sweeps are in flight must never strand level workers — cancellation
+// is polled between levels, so every runLevel barrier completes.
+func TestCtxCancelMidSweepNoGoroutineLeak(t *testing.T) {
+	models := parallelTestModels(t)
+	m := models["gen1200"] // large enough for the parallel path
+	S := rampSizes(m)
+	base := runtime.NumGoroutine()
+
+	sawCancel := false
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // races the sweep: either outcome is legal
+		if _, err := AnalyzeWorkersCtx(ctx, m, S, true, 4); err != nil {
+			if err != context.Canceled {
+				t.Fatalf("trial %d: err = %v, want context.Canceled", trial, err)
+			}
+			sawCancel = true
+		}
+	}
+	if !sawCancel {
+		t.Log("no trial observed a mid-sweep cancellation; leak check still valid")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled sweeps: %d, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSigmaClampsNegativeVar: a slightly negative variance — the
+// residue of catastrophic cancellation upstream — must clamp to 0, not
+// poison the caller with sqrt(-eps) = NaN.
+func TestSigmaClampsNegativeVar(t *testing.T) {
+	for _, v := range []float64{0, -0.0, -1e-300, -1e-12, -1} {
+		if got := (MV{Mu: 1, Var: v}).Sigma(); got != 0 {
+			t.Fatalf("Sigma with Var=%v = %v, want 0", v, got)
+		}
+	}
+	if got := (MV{Var: 4}).Sigma(); got != 2 {
+		t.Fatalf("Sigma with Var=4 = %v, want 2", got)
+	}
+}
+
+// TestMax2NegativeVarOperands: both Max2 and Max2Jac clamp slightly
+// negative operand variances at entry; the result must stay finite,
+// and the two paths (plain and taped) must keep agreeing exactly.
+func TestMax2NegativeVarOperands(t *testing.T) {
+	cases := []struct{ a, b MV }{
+		{MV{Mu: 1, Var: -1e-18}, MV{Mu: 0.9, Var: 0.04}},
+		{MV{Mu: 1, Var: 0.01}, MV{Mu: 1.2, Var: -1e-15}},
+		{MV{Mu: 2, Var: -1e-20}, MV{Mu: 2, Var: -1e-20}}, // both degenerate
+		{MV{Mu: 1, Var: math.NaN()}, MV{Mu: 0.5, Var: 0.09}},
+	}
+	for i, c := range cases {
+		m := Max2(c.a, c.b)
+		if m.Mu != m.Mu || m.Var != m.Var || m.Var < 0 {
+			t.Fatalf("case %d: Max2 = %+v, want finite with Var >= 0", i, m)
+		}
+		mj, j := Max2Jac(c.a, c.b)
+		if mj != m {
+			t.Fatalf("case %d: Max2Jac moments %+v != Max2 %+v", i, mj, m)
+		}
+		for r := 0; r < 2; r++ {
+			for k := 0; k < 4; k++ {
+				if j[r][k] != j[r][k] {
+					t.Fatalf("case %d: Jacobian[%d][%d] is NaN", i, r, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMax2DegenerateTie: on an exact mean tie between two point masses
+// the larger residual variance wins in both the plain and taped paths.
+func TestMax2DegenerateTie(t *testing.T) {
+	a := MV{Mu: 1, Var: 0}
+	b := MV{Mu: 1, Var: 1e-26} // below the theta floor but larger
+	m := Max2(a, b)
+	if m.Mu != 1 || m.Var != 1e-26 {
+		t.Fatalf("Max2 tie = %+v, want {1, 1e-26}", m)
+	}
+	mj, _ := Max2Jac(a, b)
+	if mj != m {
+		t.Fatalf("Max2Jac tie %+v != Max2 %+v", mj, m)
+	}
+}

@@ -29,8 +29,15 @@ type MV struct {
 	Var float64 // variance (sigma squared), >= 0
 }
 
-// Sigma returns the standard deviation sqrt(Var).
-func (m MV) Sigma() float64 { return math.Sqrt(m.Var) }
+// Sigma returns the standard deviation sqrt(Var). A slightly negative
+// Var — the residue of a catastrophic cancellation upstream — clamps
+// to 0 instead of poisoning the caller with sqrt(-eps) = NaN.
+func (m MV) Sigma() float64 {
+	if m.Var <= 0 {
+		return 0
+	}
+	return math.Sqrt(m.Var)
+}
 
 // Normal converts the moment pair to a dist.Normal.
 func (m MV) Normal() dist.Normal { return dist.Normal{Mu: m.Mu, Sigma: m.Sigma()} }
@@ -56,6 +63,10 @@ const thetaEps = 1e-12
 // computes as a difference of second moments, never suffers
 // catastrophic cancellation when one operand dominates.
 func Max2(a, b MV) MV {
+	// Entry clamp: a negative operand variance (rounding residue) would
+	// otherwise reach sqrt(theta2) and turn the whole sweep NaN.
+	a.Var = nnegVar(a.Var)
+	b.Var = nnegVar(b.Var)
 	theta2 := a.Var + b.Var
 	if theta2 <= thetaEps*thetaEps {
 		// Degenerate: both operands are (numerically) deterministic.
@@ -123,6 +134,10 @@ type Jac2x4 [2][4]float64
 // an exact tie the derivative is split evenly between the operands,
 // the standard subgradient choice.
 func Max2Jac(a, b MV) (MV, Jac2x4) {
+	// Same entry clamp as Max2, so taped and untaped sweeps keep
+	// agreeing on every input including invalid ones.
+	a.Var = nnegVar(a.Var)
+	b.Var = nnegVar(b.Var)
 	theta2 := a.Var + b.Var
 	if theta2 <= thetaEps*thetaEps {
 		var j Jac2x4
@@ -230,3 +245,13 @@ func Max2Hessians(a, b MV) (hMu, hVar [4][4]float64) {
 // Degenerate reports whether the pair of operands falls below the
 // variance floor at which Max2 switches to the deterministic max.
 func Degenerate(a, b MV) bool { return a.Var+b.Var <= thetaEps*thetaEps }
+
+// nnegVar clamps a variance to the non-negative range, treating NaN as
+// 0 as well (any comparison with NaN is false, so the <= 0 branch does
+// not catch it alone).
+func nnegVar(v float64) float64 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
