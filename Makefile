@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check trace faults
+.PHONY: build test vet race bench bench-inc check trace faults
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,23 @@ race:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# bench-inc measures the incremental SSTA engine against the legacy
+# full-sweep path (single-gate gradient steps in internal/ssta, fixed
+# 64-step greedy runs in internal/sizing) and collects ns/op and
+# allocs/op into BENCH_incremental.json. The greedy pair must show the
+# incremental engine at least 2x faster on the 1200-gate netlist.
+bench-inc:
+	$(GO) test -run NONE -bench 'Inc|FullSweep' -benchmem -count 1 \
+		./internal/ssta/ ./internal/sizing/ | tee /tmp/bench-inc.txt
+	awk 'BEGIN { print "["; n = 0 } \
+		/^Benchmark(Inc|FullSweep|Greedy)/ { \
+			name = $$1; sub(/-[0-9]+$$/, "", name); \
+			if (n++) printf ",\n"; \
+			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", \
+				name, $$3, $$7 } \
+		END { print "\n]" }' /tmp/bench-inc.txt > BENCH_incremental.json
+	cat BENCH_incremental.json
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race

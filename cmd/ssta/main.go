@@ -143,7 +143,7 @@ func main() {
 	fmt.Printf("deterministic critical path: %s\n", strings.Join(names, " -> "))
 
 	if *critN > 0 {
-		crit := ssta.Criticality(m, S)
+		crit := ssta.CriticalityWorkers(m, S, *workers)
 		type gc struct {
 			name string
 			c    float64

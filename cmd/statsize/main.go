@@ -41,6 +41,7 @@ func main() {
 		sigmaK        = flag.Float64("sigmak", 0.25, "sigma model: sigma_t = sigmak * mu_t")
 		limit         = flag.Float64("limit", 3, "maximum speed factor")
 		showSizes     = flag.Bool("sizes", false, "print per-gate speed factors")
+		greedyFlag    = flag.Bool("greedy", false, "use the TILOS-style greedy sensitivity sizer (incremental SSTA engine) instead of the NLP solver; needs a mu+Ksigma<= constraint")
 		verbose       = flag.Bool("v", false, "log solver progress (the telemetry event stream, rendered as text)")
 		workers       = flag.Int("j", 0, "worker goroutines for the SSTA sweeps and the NLP element evaluation engine (0 = all CPUs, 1 = serial; results are identical for any value)")
 		traceFile     = flag.String("trace", "", "write a JSONL solver trace to this file (byte-identical for every -j)")
@@ -156,6 +157,65 @@ func main() {
 	fmt.Printf("unsized:   mu = %.4f  sigma = %.4f  sum(Si) = %d\n",
 		unit.Mu, unit.Sigma(), circ.NumGates())
 
+	// drainSinks flushes the telemetry sinks in a fixed order: trace
+	// first (so `make trace` can validate it), then the metrics table,
+	// then the runtime profiles. Both the NLP and the greedy paths end
+	// through it.
+	drainSinks := func() {
+		if trace != nil {
+			if err := trace.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *metricsFlag {
+			fmt.Println("metrics:")
+			if err := metrics.WriteSummary(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				fatal(err)
+			}
+		}
+		if *memProfile != "" {
+			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *greedyFlag {
+		opt, ok := sizing.GreedyFromSpec(spec)
+		if !ok {
+			fatal(fmt.Errorf(`-greedy needs a mu+Ksigma<= deadline constraint, e.g. -constraint "mu+3sigma<=120"`))
+		}
+		start := time.Now()
+		gr, err := sizing.SizeGreedyCtx(ctx, m, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("objective: greedy  s.t. mu+%gsigma <= %g  [incremental SSTA]\n", opt.K, opt.Deadline)
+		fmt.Printf("sized:     mu = %.4f  sigma = %.4f  sum(Si) = %.4f\n",
+			gr.MuTmax, gr.SigmaTmax, gr.SumS)
+		met := "deadline met"
+		if !gr.Met {
+			met = "deadline missed (all gates at the limit)"
+		}
+		fmt.Printf("greedy:    %d steps in %v — %s\n",
+			gr.Steps, time.Since(start).Round(time.Millisecond), met)
+		if *showSizes {
+			printSizes(circ, gr.S)
+		}
+		drainSinks()
+		if !gr.Met {
+			fmt.Fprintf(os.Stderr, "statsize: greedy sizer missed the deadline: mu+%gsigma = %.6g > %g\n",
+				opt.K, gr.MuTmax+opt.K*gr.SigmaTmax, opt.Deadline)
+			os.Exit(2)
+		}
+		return
+	}
+
 	out, err := sizing.SizeCtx(ctx, m, spec)
 	if err != nil {
 		fatal(err)
@@ -179,45 +239,10 @@ func main() {
 		out.Solver.Duration.Round(time.Microsecond))
 
 	if *showSizes {
-		type gs struct {
-			name string
-			s    float64
-		}
-		var list []gs
-		for _, id := range circ.GateIDs() {
-			list = append(list, gs{circ.Nodes[id].Name, out.S[id]})
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
-		fmt.Println("speed factors:")
-		for _, e := range list {
-			fmt.Printf("  %-12s %.4f\n", e.name, e.s)
-		}
+		printSizes(circ, out.S)
 	}
 
-	// Drain the telemetry sinks in a fixed order: trace flushed first
-	// (so `make trace` can validate it), then the metrics table, then
-	// the runtime profiles.
-	if trace != nil {
-		if err := trace.Close(); err != nil {
-			fatal(err)
-		}
-	}
-	if *metricsFlag {
-		fmt.Println("metrics:")
-		if err := metrics.WriteSummary(os.Stdout); err != nil {
-			fatal(err)
-		}
-	}
-	if stopCPU != nil {
-		if err := stopCPU(); err != nil {
-			fatal(err)
-		}
-	}
-	if *memProfile != "" {
-		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
-			fatal(err)
-		}
-	}
+	drainSinks()
 
 	// A failed solver status exits non-zero with a one-line diagnostic
 	// after the sinks drain, so scripts can detect the condition while
@@ -233,6 +258,23 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, msg)
 		os.Exit(2)
+	}
+}
+
+// printSizes lists the per-gate speed factors sorted by gate name.
+func printSizes(circ *netlist.Circuit, S []float64) {
+	type gs struct {
+		name string
+		s    float64
+	}
+	var list []gs
+	for _, id := range circ.GateIDs() {
+		list = append(list, gs{circ.Nodes[id].Name, S[id]})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	fmt.Println("speed factors:")
+	for _, e := range list {
+		fmt.Printf("  %-12s %.4f\n", e.name, e.s)
 	}
 }
 

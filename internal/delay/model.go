@@ -130,6 +130,24 @@ func (m *Model) GateMuGrad(id netlist.NodeID, S []float64, scale float64, grad [
 	}
 }
 
+// SDependents calls visit for every gate whose mean delay depends on
+// the speed factor S[id]: gate id itself (through the 1/S term and
+// its own load) and each of id's fanin driver gates — their load term
+// c * sum(C_in * S) includes C_in[id]*S[id]. Input fanins are
+// skipped, since inputs carry no delay. This is the dirty rule of the
+// incremental SSTA engine: after S[id] changes, exactly these gates
+// need their delay re-evaluated. Visit order is deterministic: id
+// first, then fanin drivers in pin order (a driver wired to several
+// pins is visited once per pin; callers dedupe).
+func (m *Model) SDependents(id netlist.NodeID, visit func(netlist.NodeID)) {
+	visit(id)
+	for _, f := range m.G.C.Nodes[id].Fanin {
+		if m.G.C.Nodes[f].Kind == netlist.KindGate {
+			visit(f)
+		}
+	}
+}
+
 // PinOff returns the additive delay of gate id's pin k (0 when the
 // cell has uniform pins).
 func (m *Model) PinOff(id netlist.NodeID, k int) float64 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/delay"
+	"repro/internal/netlist"
 	"repro/internal/ssta"
 	"repro/internal/telemetry"
 )
@@ -15,7 +16,10 @@ import (
 // bump the speed factor of the gate with the best delay-reduction per
 // unit area until the mu + k*sigma quantile meets the deadline. The
 // exact adjoint gradient makes the sensitivity ranking cheap — one
-// taped sweep per step instead of one sweep per gate.
+// taped sweep per step instead of one sweep per gate — and the
+// persistent incremental engine (ssta.Inc) makes each step cheaper
+// still: a bump re-evaluates only the changed cone and the backward
+// pass reuses the engine's tape slabs allocation-free.
 //
 // It is provided as a baseline: fast and simple, but greedy — the NLP
 // formulations reach the same deadlines with less area (measured in
@@ -30,11 +34,29 @@ type GreedyOptions struct {
 	// Workers bounds the parallelism of the SSTA sweeps: <= 0 uses
 	// one worker per CPU, 1 forces the serial sweep.
 	Workers int
+	// Weights optionally holds per-gate area weights (indexed by
+	// NodeID): the sensitivity rank divides each gate's quantile
+	// gradient by its weight, so a power-weighted spec degrading to
+	// greedy optimizes the same weighted metric the NLP would have.
+	// Nil means uniform weights (plain area).
+	Weights []float64
+	// FullSweeps forces the legacy one-fresh-taped-sweep-per-step
+	// path instead of the incremental engine. The two paths are
+	// bit-identical (asserted in tests); this is the benchmark and
+	// equivalence-test escape hatch.
+	FullSweeps bool
 	// Recorder, when non-nil, receives one deterministic "greedy.step"
 	// event per sensitivity step, a final "greedy.result" event, and
-	// the SSTA sweep spans. Nil disables instrumentation at zero cost.
+	// the incremental engine's "inc.update" events (or, with
+	// FullSweeps, the SSTA sweep spans). Nil disables instrumentation
+	// at zero cost.
 	Recorder telemetry.Recorder
 }
+
+// weightFloor keeps the weighted sensitivity rank finite when a gate's
+// weight underflows to (near) zero — a zero-cost gate would otherwise
+// produce an infinite score and starve every other candidate.
+const weightFloor = 1e-12
 
 // GreedyResult reports the heuristic sizing.
 type GreedyResult struct {
@@ -90,11 +112,26 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 	S := m.UnitSizes()
 	res := &GreedyResult{}
 	rec := opt.Recorder
+	// The steady-state loop runs on the persistent incremental engine:
+	// each bump dirties only the gate and its fanin drivers, Update
+	// re-evaluates the changed cone, and the adjoint pass reuses the
+	// refreshed tape slabs — per-step allocations are zero (with
+	// Workers == 1) instead of a fresh O(V) slab set per sweep.
+	var inc *ssta.Inc
+	if !opt.FullSweeps {
+		inc = ssta.NewInc(m, S, ssta.IncOptions{Workers: opt.Workers, Recorder: rec})
+	}
 	for ; res.Steps < opt.MaxSteps; res.Steps++ {
 		if cancelled(done) {
 			break
 		}
-		phi, grad := ssta.GradMuPlusKSigmaWorkersRec(m, S, opt.K, opt.Workers, rec)
+		var phi float64
+		var grad []float64
+		if inc != nil {
+			phi, grad = inc.GradMuPlusKSigma(opt.K)
+		} else {
+			phi, grad = ssta.GradMuPlusKSigmaWorkersRec(m, S, opt.K, opt.Workers, rec)
+		}
 		if rec != nil {
 			rec.Event("greedy", "step",
 				telemetry.I("step", res.Steps),
@@ -105,10 +142,12 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 			res.Met = true
 			break
 		}
-		// Pick the gate with the most negative quantile gradient that
-		// still has headroom; the area cost of a bump is proportional
-		// to the current size, so rank by gradient * S (the delay
-		// gain of a relative bump) per unit of added area.
+		// Pick the gate with the best quantile gain per unit of
+		// (weighted) area among those with headroom. A relative bump
+		// dS = S*(Step-1) changes the quantile by about grad*S*(Step-1)
+		// and costs w*S*(Step-1) of weighted area, so the
+		// per-unit-area score is grad/w — which reduces to the raw
+		// gradient only when the weights are uniform.
 		best := -1
 		var bestScore float64
 		for _, id := range gates {
@@ -116,6 +155,13 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 				continue
 			}
 			score := grad[id] // d phi / d S; negative helps
+			if opt.Weights != nil {
+				w := opt.Weights[id]
+				if w < weightFloor {
+					w = weightFloor
+				}
+				score /= w
+			}
 			if score < bestScore {
 				bestScore = score
 				best = int(id)
@@ -127,6 +173,9 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 		S[best] *= opt.Step
 		if S[best] > m.Limit {
 			S[best] = m.Limit
+		}
+		if inc != nil {
+			inc.SetSize(netlist.NodeID(best), S[best])
 		}
 	}
 	m.ClampSizes(S)

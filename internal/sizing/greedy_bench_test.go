@@ -1,0 +1,29 @@
+package sizing
+
+import (
+	"testing"
+)
+
+// The greedy benchmark pair runs a fixed number of sensitivity steps
+// (the deadline is infeasible, so the step count is exactly MaxSteps)
+// on the 1200-gate generated netlist: once on the incremental engine,
+// once on the legacy fresh-taped-sweep-per-step path. Both take the
+// identical trajectory (asserted in TestGreedyIncrementalMatchesFull-
+// Sweeps); the ratio is pure engine speedup.
+
+func benchGreedy1200(b *testing.B, fullSweeps bool) {
+	m := genModel(b, 1200)
+	opt := GreedyOptions{
+		K: 3, Deadline: 0.01, MaxSteps: 64, Workers: 1, FullSweeps: fullSweeps,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SizeGreedy(m, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyIncremental1200(b *testing.B) { benchGreedy1200(b, false) }
+func BenchmarkGreedyFullSweep1200(b *testing.B)   { benchGreedy1200(b, true) }

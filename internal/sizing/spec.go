@@ -339,30 +339,46 @@ func SizeCtx(ctx context.Context, m *delay.Model, spec Spec) (*Outcome, error) {
 	return out, nil
 }
 
+// GreedyFromSpec derives the greedy sizer's options from a spec: the
+// target comes from the spec's first mu+K*sigma deadline, and the
+// workers, recorder and objective weights carry over — so a
+// power-weighted spec degrading to greedy still optimizes the weighted
+// metric. The second return is false when the spec carries no
+// ConMuPlusKSigmaLE constraint (the heuristic needs a deadline).
+func GreedyFromSpec(spec Spec) (GreedyOptions, bool) {
+	for _, c := range spec.Constraints {
+		if c.Kind != ConMuPlusKSigmaLE {
+			continue
+		}
+		return GreedyOptions{
+			K: c.K, Deadline: c.Bound,
+			Workers:  spec.Workers,
+			Weights:  spec.Weights,
+			Recorder: spec.Recorder,
+		}, true
+	}
+	return GreedyOptions{}, false
+}
+
 // greedyFallback runs the TILOS-style sensitivity sizer against the
 // spec's first mu+K*sigma deadline after an NLP NumericalFailure. It
 // returns nil when the spec has no such deadline (the heuristic needs
 // a target) or the greedy run itself fails.
 func greedyFallback(ctx context.Context, m *delay.Model, spec Spec) *GreedyResult {
-	for _, c := range spec.Constraints {
-		if c.Kind != ConMuPlusKSigmaLE {
-			continue
-		}
-		gr, err := SizeGreedyCtx(ctx, m, GreedyOptions{
-			K: c.K, Deadline: c.Bound,
-			Workers: spec.Workers, Recorder: spec.Recorder,
-		})
-		if err != nil {
-			return nil
-		}
-		if rec := spec.Recorder; rec != nil {
-			rec.Event("sizing", "fallback",
-				telemetry.F("k", c.K),
-				telemetry.F("deadline", c.Bound),
-				telemetry.I("steps", gr.Steps),
-			)
-		}
-		return gr
+	opt, ok := GreedyFromSpec(spec)
+	if !ok {
+		return nil
 	}
-	return nil
+	gr, err := SizeGreedyCtx(ctx, m, opt)
+	if err != nil {
+		return nil
+	}
+	if rec := spec.Recorder; rec != nil {
+		rec.Event("sizing", "fallback",
+			telemetry.F("k", opt.K),
+			telemetry.F("deadline", opt.Deadline),
+			telemetry.I("steps", gr.Steps),
+		)
+	}
+	return gr
 }

@@ -28,18 +28,30 @@ type CornerResult struct {
 // Corners runs the three deterministic corner sweeps plus the
 // statistical sweep at quantile multiplier k.
 func Corners(m *delay.Model, S []float64, k float64) *CornerResult {
+	return CornersWorkers(m, S, k, 1)
+}
+
+// CornersWorkers is Corners with the statistical sweep routed through
+// the shared workers-aware entry point (AnalyzeWorkers); the three
+// deterministic corner sweeps are cheap scans and stay serial.
+// Results are bit-identical to Corners for any worker count.
+func CornersWorkers(m *delay.Model, S []float64, k float64, workers int) *CornerResult {
 	res := &CornerResult{K: k}
 	res.Best = cornerSweep(m, S, -k)
 	res.Typical = cornerSweep(m, S, 0)
 	res.Worst = cornerSweep(m, S, k)
-	r := Analyze(m, S, false)
+	r := AnalyzeWorkers(m, S, false, workers)
 	res.StatQuantile = r.Tmax.Mu + k*r.Tmax.Sigma()
 	res.Pessimism = res.Worst - res.StatQuantile
 	return res
 }
 
 // cornerSweep is a deterministic sweep with every gate delay set to
-// mu + k*sigma (k may be negative; delays are floored at zero).
+// mu + k*sigma. The corner convention clamps every physical time at
+// zero — gate delays and primary-input arrival quantiles alike: a
+// best-case corner (negative k) may not start an event before t = 0
+// any more than a gate may anticipate its inputs, so deep-negative
+// input skews cannot manufacture negative circuit delays.
 func cornerSweep(m *delay.Model, S []float64, k float64) float64 {
 	g := m.G
 	n := len(g.C.Nodes)
@@ -48,7 +60,11 @@ func cornerSweep(m *delay.Model, S []float64, k float64) float64 {
 		nd := &g.C.Nodes[id]
 		if nd.Kind == netlist.KindInput {
 			a := m.Arrival[id]
-			arr[id] = a.Mu + k*a.Sigma()
+			t := a.Mu + k*a.Sigma()
+			if t < 0 {
+				t = 0
+			}
+			arr[id] = t
 			continue
 		}
 		u := arr[nd.Fanin[0]] + m.PinOff(id, 0)

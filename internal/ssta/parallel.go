@@ -112,73 +112,8 @@ func (r *Result) BackwardWorkers(m *delay.Model, S []float64, seedMu, seedVar fl
 	if !r.withTape {
 		panic("ssta: BackwardWorkers requires a taped Analyze")
 	}
-	workers = resolveWorkers(workers)
-	g := m.G
-	n := len(g.C.Nodes)
-	if workers == 1 || n < parallelMinNodes {
-		return r.Backward(m, S, seedMu, seedVar)
-	}
-	adjMu := make([]float64, n)
-	adjVar := make([]float64, n)
-	grad := make([]float64, n)
-	r.seedAdjoint(g, seedMu, seedVar, adjMu, adjVar)
-
-	// Per-node scratch: one (mu, var) contribution slot per fanin pin,
-	// laid out flat with per-node offsets, plus the gate's mean-delay
-	// adjoint for the gradient apply.
-	off := make([]int, n)
-	total := 0
-	for i := range g.C.Nodes {
-		off[i] = total
-		total += len(g.C.Nodes[i].Fanin)
-	}
-	cMu := make([]float64, total)
-	cVar := make([]float64, total)
-	dmu := make([]float64, n)
-
-	for l := len(g.Levels) - 1; l >= 1; l-- {
-		bucket := g.Levels[l]
-		// Compute phase: pure reads of finalized adjoints and the
-		// tape; writes only to slots owned by the node.
-		runLevel(workers, len(bucket), func(i int) {
-			id := bucket[i]
-			am, av := adjMu[id], adjVar[id]
-			if am == 0 && av == 0 {
-				return
-			}
-			dmu[id] = am + av*m.Sigma.DVar(r.GateDelay[id].Mu)
-			fanin := g.C.Nodes[id].Fanin
-			uMu, uVar := am, av
-			steps := r.gateFold[id]
-			base := off[id]
-			for k := len(fanin) - 1; k >= 1; k-- {
-				j := steps[k-1]
-				cMu[base+k] = uMu*j[0][2] + uVar*j[1][2]
-				cVar[base+k] = uMu*j[0][3] + uVar*j[1][3]
-				uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
-			}
-			cMu[base] = uMu
-			cVar[base] = uVar
-		})
-		// Apply phase: fixed bucket order, mirroring the serial
-		// per-node write order (fanin pins high to low, pin 0 last).
-		for _, id := range bucket {
-			am, av := adjMu[id], adjVar[id]
-			if am == 0 && av == 0 {
-				continue
-			}
-			m.GateMuGrad(id, S, dmu[id], grad)
-			fanin := g.C.Nodes[id].Fanin
-			base := off[id]
-			for k := len(fanin) - 1; k >= 1; k-- {
-				adjMu[fanin[k]] += cMu[base+k]
-				adjVar[fanin[k]] += cVar[base+k]
-			}
-			adjMu[fanin[0]] += cMu[base]
-			adjVar[fanin[0]] += cVar[base]
-		}
-	}
-	return grad
+	var sc adjointScratch
+	return r.backwardInto(m, S, seedMu, seedVar, resolveWorkers(workers), &sc)
 }
 
 // GradMuPlusKSigmaWorkers is GradMuPlusKSigma on the parallel sweeps:

@@ -101,7 +101,14 @@ func AnalyzeRiseFall(m *delay.Model, S []float64, skew float64) *RiseFallResult 
 			return acc
 		}
 		mu := m.GateMu(id, S)
+		// Both senses floor at zero symmetrically: a skew below -1
+		// would otherwise produce negative rising gate delays (and a
+		// skew above +1 negative falling ones), breaking arrival
+		// monotonicity along fanin edges.
 		riseDelay := mu * (1 + skew)
+		if riseDelay < 0 {
+			riseDelay = 0
+		}
 		fallDelay := mu * (1 - skew)
 		if fallDelay < 0 {
 			fallDelay = 0

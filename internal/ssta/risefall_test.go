@@ -112,3 +112,63 @@ func TestRiseFallMixingGateUsesWorstSense(t *testing.T) {
 			rf.TmaxFall.Mu, bufRise.Mu+xorFall)
 	}
 }
+
+// TestRiseFallExtremeSkewStaysMonotone pins the symmetric floor: a
+// skew beyond +/-1 would make one sense's gate delay negative without
+// it, letting an arrival precede its own cause. Both senses must stay
+// non-negative and monotone along fanin edges for deep skews of either
+// sign. (The floor used to apply to falling delays only, so skew < -1
+// produced negative rising delays.)
+func TestRiseFallExtremeSkewStaysMonotone(t *testing.T) {
+	models := map[string]*delay.Model{
+		"tree7": delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree()),
+		"apex1": delay.MustBind(netlist.MustCompile(netlist.Apex1Like()), delay.Default()),
+		"chain": delay.MustBind(netlist.MustCompile(netlist.Chain(8)), delay.Default()),
+	}
+	for _, skew := range []float64{-1.5, 1.5} {
+		for name, m := range models {
+			rf := AnalyzeRiseFall(m, m.UnitSizes(), skew)
+			g := m.G
+			for _, id := range g.Topo {
+				if rf.Rise[id].Mu < 0 || rf.Fall[id].Mu < 0 {
+					t.Fatalf("%s skew %v: node %d negative arrival: rise %v fall %v",
+						name, skew, id, rf.Rise[id].Mu, rf.Fall[id].Mu)
+				}
+				nd := &g.C.Nodes[id]
+				if nd.Kind == netlist.KindInput {
+					continue
+				}
+				pol := PolarityOf(nd.Type)
+				for k, f := range nd.Fanin {
+					off := m.PinOff(id, k)
+					// Lower bounds on the folded input arrival per
+					// output sense, mirroring the polarity coupling.
+					var riseLB, fallLB float64
+					switch pol {
+					case Inverting:
+						riseLB, fallLB = rf.Fall[f].Mu, rf.Rise[f].Mu
+					case NonInverting:
+						riseLB, fallLB = rf.Rise[f].Mu, rf.Fall[f].Mu
+					default:
+						worst := rf.Rise[f].Mu
+						if rf.Fall[f].Mu > worst {
+							worst = rf.Fall[f].Mu
+						}
+						riseLB, fallLB = worst, worst
+					}
+					if rf.Rise[id].Mu < riseLB+off-1e-12 {
+						t.Fatalf("%s skew %v: node %d rise %v below fanin %d bound %v",
+							name, skew, id, rf.Rise[id].Mu, f, riseLB+off)
+					}
+					if rf.Fall[id].Mu < fallLB+off-1e-12 {
+						t.Fatalf("%s skew %v: node %d fall %v below fanin %d bound %v",
+							name, skew, id, rf.Fall[id].Mu, f, fallLB+off)
+					}
+				}
+			}
+			if rf.Tmax.Mu < 0 {
+				t.Fatalf("%s skew %v: negative Tmax %v", name, skew, rf.Tmax.Mu)
+			}
+		}
+	}
+}

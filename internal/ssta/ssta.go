@@ -63,13 +63,18 @@ func forwardNode(r *Result, m *delay.Model, S []float64, id netlist.NodeID, with
 	// the max Jacobians valid as-is, so the tape is unchanged.
 	u := shiftMV(r.Arrival[nd.Fanin[0]], m.PinOff(id, 0))
 	if withTape && len(nd.Fanin) > 1 {
-		steps := make([]stats.Jac2x4, 0, len(nd.Fanin)-1)
-		for k, f := range nd.Fanin[1:] {
-			var jac stats.Jac2x4
-			u, jac = stats.Max2Jac(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
-			steps = append(steps, jac)
+		// Reuse the node's tape slots when already sized (the
+		// incremental engine pre-carves them from one arena, so
+		// re-evaluating a node is allocation-free); a fresh Result
+		// allocates them here once.
+		steps := r.gateFold[id]
+		if len(steps) != len(nd.Fanin)-1 {
+			steps = make([]stats.Jac2x4, len(nd.Fanin)-1)
+			r.gateFold[id] = steps
 		}
-		r.gateFold[id] = steps
+		for k, f := range nd.Fanin[1:] {
+			u, steps[k] = stats.Max2Jac(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
+		}
 	} else {
 		for k, f := range nd.Fanin[1:] {
 			u = stats.Max2(u, shiftMV(r.Arrival[f], m.PinOff(id, k+1)))
@@ -87,11 +92,12 @@ func foldOutputs(r *Result, g *netlist.Graph, withTape bool) {
 	outs := g.C.Outputs
 	tmax := r.Arrival[outs[0]]
 	if withTape && len(outs) > 1 {
-		r.outFold = make([]stats.Jac2x4, 0, len(outs)-1)
-		for _, o := range outs[1:] {
-			var jac stats.Jac2x4
-			tmax, jac = stats.Max2Jac(tmax, r.Arrival[o])
-			r.outFold = append(r.outFold, jac)
+		// As in forwardNode, reuse the fold slots when already sized.
+		if len(r.outFold) != len(outs)-1 {
+			r.outFold = make([]stats.Jac2x4, len(outs)-1)
+		}
+		for i, o := range outs[1:] {
+			tmax, r.outFold[i] = stats.Max2Jac(tmax, r.Arrival[o])
 		}
 	} else {
 		for _, o := range outs[1:] {
@@ -143,11 +149,12 @@ func (r *Result) seedAdjoint(g *netlist.Graph, seedMu, seedVar float64, adjMu, a
 }
 
 // backwardNode pushes gate id's adjoint into its speed-factor gradient
-// and its fanins' adjoints. All of id's own adjoint contributions must
-// already be final — guaranteed when levels are processed in
-// decreasing order, because every fanout sits at a strictly higher
-// level.
-func (r *Result) backwardNode(m *delay.Model, S []float64, id netlist.NodeID, adjMu, adjVar, grad []float64) {
+// and its fanins' adjoints, recording the gate's mean-delay adjoint in
+// dmu (the statistical criticality of the gate when the seed is
+// (1, 0)). All of id's own adjoint contributions must already be
+// final — guaranteed when levels are processed in decreasing order,
+// because every fanout sits at a strictly higher level.
+func (r *Result) backwardNode(m *delay.Model, S []float64, id netlist.NodeID, adjMu, adjVar, grad, dmu []float64) {
 	am, av := adjMu[id], adjVar[id]
 	if am == 0 && av == 0 {
 		return
@@ -156,8 +163,9 @@ func (r *Result) backwardNode(m *delay.Model, S []float64, id netlist.NodeID, ad
 	// Gate delay: var_t = Sigma.Var(mu_t), so the variance
 	// adjoint folds into the mean-delay adjoint...
 	muT := r.GateDelay[id].Mu
-	dmu := am + av*m.Sigma.DVar(muT)
-	m.GateMuGrad(id, S, dmu, grad)
+	d := am + av*m.Sigma.DVar(muT)
+	dmu[id] = d
+	m.GateMuGrad(id, S, d, grad)
 
 	// U side: unfold the fanin max in reverse.
 	fanin := m.G.C.Nodes[id].Fanin
@@ -174,6 +182,125 @@ func (r *Result) backwardNode(m *delay.Model, S []float64, id netlist.NodeID, ad
 	adjVar[fanin[0]] += uVar
 }
 
+// adjointScratch holds every slab one adjoint sweep needs. The
+// entry-point wrappers allocate one per call; the incremental engine
+// owns one persistently so repeated backward passes are
+// allocation-free.
+type adjointScratch struct {
+	// adjMu/adjVar accumulate d phi / d Arrival[id].{Mu, Var}; grad
+	// receives d phi / d S; dmu receives each gate's mean-delay
+	// adjoint (the statistical criticality under a (1, 0) seed).
+	adjMu, adjVar, grad, dmu []float64
+	// cMu/cVar are the per-fanin-pin contribution slots of the
+	// parallel apply phase, laid out flat with per-node offsets off.
+	cMu, cVar []float64
+	off       []int
+}
+
+// ensure sizes and zeroes the scratch for graph g; the parallel slots
+// are only (re)built when workers > 1 will use them.
+func (sc *adjointScratch) ensure(g *netlist.Graph, parallel bool) {
+	n := len(g.C.Nodes)
+	if len(sc.adjMu) != n {
+		sc.adjMu = make([]float64, n)
+		sc.adjVar = make([]float64, n)
+		sc.grad = make([]float64, n)
+		sc.dmu = make([]float64, n)
+	} else {
+		clear(sc.adjMu)
+		clear(sc.adjVar)
+		clear(sc.grad)
+		clear(sc.dmu)
+	}
+	if !parallel {
+		return
+	}
+	if len(sc.off) != n {
+		sc.off = make([]int, n)
+		total := 0
+		for i := range g.C.Nodes {
+			sc.off[i] = total
+			total += len(g.C.Nodes[i].Fanin)
+		}
+		sc.cMu = make([]float64, total)
+		sc.cVar = make([]float64, total)
+	}
+	// cMu/cVar need no zeroing: the apply phase reads exactly the
+	// slots the compute phase just wrote.
+}
+
+// backwardInto is the single implementation behind Backward,
+// BackwardWorkers and the incremental engine's adjoint pass: it runs
+// the sweep with all state in sc and returns sc.grad. The serial and
+// parallel paths fold every floating-point accumulation in the same
+// order, so the result is bit-identical for any worker count.
+func (r *Result) backwardInto(m *delay.Model, S []float64, seedMu, seedVar float64, workers int, sc *adjointScratch) []float64 {
+	if !r.withTape {
+		panic("ssta: adjoint sweep requires a taped Analyze")
+	}
+	g := m.G
+	n := len(g.C.Nodes)
+	if workers > 1 && n < parallelMinNodes {
+		workers = 1
+	}
+	sc.ensure(g, workers > 1)
+	r.seedAdjoint(g, seedMu, seedVar, sc.adjMu, sc.adjVar)
+	if workers <= 1 {
+		// Level 0 holds only primary inputs, which have no gradient.
+		for l := len(g.Levels) - 1; l >= 1; l-- {
+			for _, id := range g.Levels[l] {
+				r.backwardNode(m, S, id, sc.adjMu, sc.adjVar, sc.grad, sc.dmu)
+			}
+		}
+		return sc.grad
+	}
+	adjMu, adjVar, dmu := sc.adjMu, sc.adjVar, sc.dmu
+	cMu, cVar, off := sc.cMu, sc.cVar, sc.off
+	for l := len(g.Levels) - 1; l >= 1; l-- {
+		bucket := g.Levels[l]
+		// Compute phase: pure reads of finalized adjoints and the
+		// tape; writes only to slots owned by the node.
+		runLevel(workers, len(bucket), func(i int) {
+			id := bucket[i]
+			am, av := adjMu[id], adjVar[id]
+			if am == 0 && av == 0 {
+				return
+			}
+			dmu[id] = am + av*m.Sigma.DVar(r.GateDelay[id].Mu)
+			fanin := g.C.Nodes[id].Fanin
+			uMu, uVar := am, av
+			steps := r.gateFold[id]
+			base := off[id]
+			for k := len(fanin) - 1; k >= 1; k-- {
+				j := steps[k-1]
+				cMu[base+k] = uMu*j[0][2] + uVar*j[1][2]
+				cVar[base+k] = uMu*j[0][3] + uVar*j[1][3]
+				uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
+			}
+			cMu[base] = uMu
+			cVar[base] = uVar
+		})
+		// Apply phase: fixed bucket order, mirroring the serial
+		// per-node write order (fanin pins high to low, pin 0 last).
+		for _, id := range bucket {
+			am, av := adjMu[id], adjVar[id]
+			if am == 0 && av == 0 {
+				continue
+			}
+			m.GateMuGrad(id, S, dmu[id], sc.grad)
+			fanin := g.C.Nodes[id].Fanin
+			base := off[id]
+			for k := len(fanin) - 1; k >= 1; k-- {
+				adjMu[fanin[k]] += cMu[base+k]
+				adjVar[fanin[k]] += cVar[base+k]
+			}
+			adjMu[fanin[0]] += cMu[base]
+			adjVar[fanin[0]] += cVar[base]
+		}
+	}
+	return sc.grad
+}
+
 // Backward propagates the adjoint seed (d phi/d muTmax, d phi/d
 // varTmax) back through the recorded sweep, returning d phi/d S as a
 // vector indexed by NodeID (input entries are zero). The Result must
@@ -186,20 +313,8 @@ func (r *Result) Backward(m *delay.Model, S []float64, seedMu, seedVar float64) 
 	if !r.withTape {
 		panic("ssta: Backward requires a taped Analyze")
 	}
-	g := m.G
-	n := len(g.C.Nodes)
-	// adjMu/adjVar accumulate d phi / d Arrival[id].{Mu, Var}.
-	adjMu := make([]float64, n)
-	adjVar := make([]float64, n)
-	grad := make([]float64, n)
-	r.seedAdjoint(g, seedMu, seedVar, adjMu, adjVar)
-	// Level 0 holds only primary inputs, which have no gradient.
-	for l := len(g.Levels) - 1; l >= 1; l-- {
-		for _, id := range g.Levels[l] {
-			r.backwardNode(m, S, id, adjMu, adjVar, grad)
-		}
-	}
-	return grad
+	var sc adjointScratch
+	return r.backwardInto(m, S, seedMu, seedVar, 1, &sc)
 }
 
 // ObjectiveMuPlusKSigma returns phi = mu + k*sigma of the circuit
@@ -234,32 +349,20 @@ func GradMuPlusKSigma(m *delay.Model, S []float64, k float64) (float64, []float6
 // over competing paths — the "statistical criticality" used for
 // reporting in cmd/ssta.
 func Criticality(m *delay.Model, S []float64) []float64 {
-	g := m.G
-	r := Analyze(m, S, true)
-	n := len(g.C.Nodes)
-	adjMu := make([]float64, n)
-	adjVar := make([]float64, n)
-	crit := make([]float64, n)
-	r.seedAdjoint(g, 1, 0, adjMu, adjVar)
+	return CriticalityWorkers(m, S, 1)
+}
 
-	for l := len(g.Levels) - 1; l >= 1; l-- {
-		for _, id := range g.Levels[l] {
-			am, av := adjMu[id], adjVar[id]
-			muT := r.GateDelay[id].Mu
-			crit[id] = am + av*m.Sigma.DVar(muT)
-			fanin := g.C.Nodes[id].Fanin
-			uMu, uVar := am, av
-			steps := r.gateFold[id]
-			for k := len(fanin) - 1; k >= 1; k-- {
-				j := steps[k-1]
-				f := fanin[k]
-				adjMu[f] += uMu*j[0][2] + uVar*j[1][2]
-				adjVar[f] += uMu*j[0][3] + uVar*j[1][3]
-				uMu, uVar = uMu*j[0][0]+uVar*j[1][0], uMu*j[0][1]+uVar*j[1][1]
-			}
-			adjMu[fanin[0]] += uMu
-			adjVar[fanin[0]] += uVar
-		}
-	}
+// CriticalityWorkers is Criticality on the shared workers-aware
+// sweeps (AnalyzeWorkers plus the levelized adjoint), bit-identical
+// to the serial Criticality for any worker count. The per-gate
+// criticality is exactly the gate's mean-delay adjoint under the
+// (d muTmax, d varTmax) = (1, 0) seed, which the adjoint sweep
+// records as a byproduct.
+func CriticalityWorkers(m *delay.Model, S []float64, workers int) []float64 {
+	r := AnalyzeWorkers(m, S, true, workers)
+	var sc adjointScratch
+	r.backwardInto(m, S, 1, 0, resolveWorkers(workers), &sc)
+	crit := make([]float64, len(sc.dmu))
+	copy(crit, sc.dmu)
 	return crit
 }
