@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-inc check trace faults
+.PHONY: build test vet race bench bench-inc bench-batch test-batch check trace faults
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,46 @@ bench-inc:
 				name, $$3, $$7 } \
 		END { print "\n]" }' /tmp/bench-inc.txt > BENCH_incremental.json
 	cat BENCH_incremental.json
+
+# bench-batch measures the K-lane structure-of-arrays sweeps against
+# K independent scalar traversals on the 1200-gate netlist — the
+# deterministic corner k-sweep (DetBatch), the statistical scenario
+# sweep (Batch forward and forward+adjoint) and the batched Monte
+# Carlo shard runner — and collects ns/op, allocs/op and the derived
+# K=8 speedups into BENCH_batch.json. The corner pair must show the
+# batched path at least 4x faster at K=8.
+bench-batch:
+	$(GO) test -run NONE -bench 'Corner(Scalar|Batch)|Forward(Scalar|Batch)|GradBatch' \
+		-benchmem -count 1 ./internal/ssta/ | tee /tmp/bench-batch.txt
+	$(GO) test -run NONE -bench 'MCLanes' -benchmem -count 1 \
+		./internal/montecarlo/ | tee -a /tmp/bench-batch.txt
+	awk 'BEGIN { print "["; n = 0 } \
+		/^Benchmark(Corner|Forward|Grad|MCLanes)/ { \
+			name = $$1; sub(/-[0-9]+$$/, "", name); ns[name] = $$3; \
+			if (n++) printf ",\n"; \
+			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", \
+				name, $$3, $$7 } \
+		END { \
+			if (ns["BenchmarkCornerBatchK8Gen1200"]) \
+				printf ",\n  {\"name\": \"CornerK8Speedup\", \"speedup\": %.2f}", \
+					ns["BenchmarkCornerScalarX8Gen1200"] / ns["BenchmarkCornerBatchK8Gen1200"]; \
+			if (ns["BenchmarkForwardBatchK8Gen1200"]) \
+				printf ",\n  {\"name\": \"ForwardK8Speedup\", \"speedup\": %.2f}", \
+					ns["BenchmarkForwardScalarX8Gen1200"] / ns["BenchmarkForwardBatchK8Gen1200"]; \
+			if (ns["BenchmarkMCLanes8Gen1200"]) \
+				printf ",\n  {\"name\": \"MCLanes8Speedup\", \"speedup\": %.2f}", \
+					ns["BenchmarkMCLanes1Gen1200"] / ns["BenchmarkMCLanes8Gen1200"]; \
+			print "\n]" }' /tmp/bench-batch.txt > BENCH_batch.json
+	cat BENCH_batch.json
+
+# test-batch runs the batch equivalence suite — bit-identity of the
+# K-lane statistical/deterministic/Monte Carlo sweeps against
+# independent scalar runs, the quantile edge-case tables and the
+# risk-factor guards — under the race detector (the CI batch job).
+test-batch:
+	$(GO) test -race -timeout 5m \
+		-run 'Batch|KSweep|Corners|NonFinite|LaneWidth|QuantileMaxN|Scenario' \
+		./internal/ssta/ ./internal/montecarlo/ ./internal/stats/
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race

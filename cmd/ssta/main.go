@@ -32,6 +32,7 @@ func main() {
 		sigmaK      = flag.Float64("sigmak", 0.25, "sigma model: sigma_t = sigmak * mu_t")
 		mcSamples   = flag.Int("mc", 0, "Monte Carlo cross-check with this many samples (0 = off)")
 		critN       = flag.Int("crit", 0, "print the N most critical gates (0 = off)")
+		cornersK    = flag.Float64("corners", 0, "corner/pessimism report at mu +- k*sigma (0 = off)")
 		seed        = flag.Int64("seed", 1, "Monte Carlo seed")
 		canonical   = flag.Bool("canonical", false, "also run the correlation-aware canonical sweep")
 		workers     = flag.Int("j", 0, "worker goroutines for the SSTA sweep and Monte Carlo (0 = all CPUs, 1 = serial; results are identical for any value)")
@@ -134,6 +135,19 @@ func main() {
 	}
 	fmt.Printf("quantiles: 50%% = %.4f  84.1%% = %.4f  99.8%% = %.4f\n",
 		r.Tmax.Mu, r.Tmax.Mu+r.Tmax.Sigma(), r.Tmax.Mu+3*r.Tmax.Sigma())
+	// The three sigma-level corner sweeps run as lanes of one batched
+	// traversal (ssta.DetBatch); each lane is bit-identical to its
+	// scalar corner sweep.
+	ck := ssta.KSweep(m, S, []float64{0, 1, 3}, *workers)
+	fmt.Printf("corner sweep (batched): k=0 %.4f  k=1 %.4f  k=3 %.4f\n", ck[0], ck[1], ck[2])
+
+	if *cornersK > 0 {
+		cr := ssta.CornersWorkers(m, S, *cornersK, *workers)
+		fmt.Printf("corners (k=%.3g): best %.4f  typical %.4f  worst %.4f\n",
+			cr.K, cr.Best, cr.Typical, cr.Worst)
+		fmt.Printf("statistical mu+k*sigma = %.4f  pessimism vs worst corner = %.4f\n",
+			cr.StatQuantile, cr.Pessimism)
+	}
 
 	path := det.CriticalPath(m)
 	names := make([]string, len(path))

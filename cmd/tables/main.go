@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | all")
+		table      = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | ksweep | all")
 		samples    = flag.Int("samples", 200000, "Monte Carlo samples for the yield table")
 		verbose    = flag.Bool("v", false, "log per-run solver progress for Table 1")
 		checkTrace = flag.String("checktrace", "", "validate a JSONL telemetry trace and print an event census instead of running tables")
@@ -79,6 +79,13 @@ func main() {
 		}
 		b.Format(os.Stdout)
 	}
+	runKSweep := func() {
+		t, err := bench.RunKSweep()
+		if err != nil {
+			fatal(err)
+		}
+		t.Format(os.Stdout)
+	}
 
 	switch *table {
 	case "1":
@@ -91,9 +98,12 @@ func main() {
 		runYield()
 	case "baseline":
 		runBaseline()
+	case "ksweep":
+		runKSweep()
 	case "all":
 		run2()
 		run3()
+		runKSweep()
 		runYield()
 		runBaseline()
 		run1()

@@ -1,0 +1,79 @@
+package delay
+
+import "repro/internal/netlist"
+
+// This file holds the K-lane gate kernel behind the batched
+// structure-of-arrays sweeps of internal/ssta: the same delay
+// arithmetic as GateMu/GateMV/GateMuGrad, evaluated for K scenarios
+// per call over contiguous K-strided slices. The lane-stride contract
+// shared with ssta.Batch is
+//
+//	slab[int(id)*K + lane]
+//
+// for every per-node slab, so one gate's K lanes are adjacent in
+// memory and the inner lane loops run over contiguous float64 spans
+// the compiler can keep in registers (and, where profitable,
+// vectorize).
+//
+// Bit-identity contract: for every lane l, the value each kernel
+// computes is produced by exactly the floating-point operations of
+// its scalar counterpart, in the same order — LoadLanes accumulates
+// fanout pins in fanout order like Load, GateMuLanes applies
+// TInt + Coef*load/S like GateMu — so a batched sweep is bit-identical
+// to K independent scalar sweeps by construction, not by tolerance.
+
+// LoadLanes writes the capacitive load seen by gate id in every lane
+// into out[0:K]: CLoad + sum over fanout pins of C_in * S_lane, with
+// the speed factors read from the K-strided slab sLanes. out must
+// have room for K values.
+func (m *Model) LoadLanes(id netlist.NodeID, K int, sLanes, out []float64) {
+	cl := m.CLoad[id]
+	out = out[:K]
+	for l := range out {
+		out[l] = cl
+	}
+	for _, f := range m.G.Fanout[id] {
+		cin := m.CIn[f]
+		lane := sLanes[int(f)*K : int(f)*K+K]
+		for l := range out {
+			out[l] += cin * lane[l]
+		}
+	}
+}
+
+// GateMuLanes writes gate id's mean delay in every lane into out[0:K]:
+// eq 14's t_int + c*load/S evaluated per lane over the K-strided
+// speed-factor slab. Per lane it performs exactly GateMu's operations
+// in GateMu's order.
+func (m *Model) GateMuLanes(id netlist.NodeID, K int, sLanes, out []float64) {
+	m.LoadLanes(id, K, sLanes, out)
+	ti := m.TInt[id]
+	c := m.Coef
+	s := sLanes[int(id)*K : int(id)*K+K]
+	out = out[:K]
+	for l := range out {
+		out[l] = ti + c*out[l]/s[l]
+	}
+}
+
+// GateMuGradLanes accumulates scale[l] * d(GateMu(id))/dS into the
+// K-strided gradient slab for every lane — the lane form of
+// GateMuGrad, with the same term order (the gate's own 1/S term
+// first, then the fanout pin terms in fanout order). load must hold
+// the per-lane loads of LoadLanes at the lanes' current speed
+// factors; scale is the per-lane adjoint weight.
+func (m *Model) GateMuGradLanes(id netlist.NodeID, K int, sLanes, load, scale, grad []float64) {
+	c := m.Coef
+	s := sLanes[int(id)*K : int(id)*K+K]
+	g := grad[int(id)*K : int(id)*K+K]
+	for l := 0; l < K; l++ {
+		g[l] += scale[l] * -c * load[l] / (s[l] * s[l])
+	}
+	for _, f := range m.G.Fanout[id] {
+		cin := m.CIn[f]
+		gf := grad[int(f)*K : int(f)*K+K]
+		for l := 0; l < K; l++ {
+			gf[l] += scale[l] * c * cin / s[l]
+		}
+	}
+}

@@ -45,6 +45,14 @@ type Options struct {
 	// substream generators derived from Seed, so the result is
 	// bit-identical for every worker count.
 	Workers int
+	// LaneWidth sets how many samples a shard propagates per node
+	// visit (the batched structure-of-arrays path): <= 0 uses the
+	// default width, 1 forces the scalar per-sample loop. Per-sample
+	// values are drawn in the scalar order and propagated over
+	// K-strided lanes, so the result is bit-identical for every
+	// (LaneWidth, Workers) pair — the lane width is purely a
+	// performance knob.
+	LaneWidth int
 	// Recorder, when non-nil, receives aggregate run telemetry: the
 	// "mc.run" span, one "mc.shard" span per sample block (count and
 	// busy time, exposing shard balance), the sample counter and the
@@ -122,11 +130,15 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 	tRun := telemetry.StartSpan(rec)
 	nShards := (opt.Samples + shardSamples - 1) / shardSamples
 	shards := make([]shardMoments, nShards)
+	K := opt.LaneWidth
+	if K <= 0 {
+		K = defaultLaneWidth
+	}
 	// runShard draws shard i's block of samples into shards[i] using
-	// the caller's scratch arrival array. With a recorder attached each
-	// block's busy time folds into the "mc.shard" span (workers record
-	// concurrently; the metrics cells are atomic).
-	runShard := func(arr []float64, i int) {
+	// the caller's per-worker scratch slabs. With a recorder attached
+	// each block's busy time folds into the "mc.shard" span (workers
+	// record concurrently; the metrics cells are atomic).
+	runShard := func(sc *mcScratch, i int) {
 		t0 := telemetry.StartSpan(rec)
 		defer telemetry.EndSpan(rec, "mc.shard", t0)
 		rng := rand.New(rand.NewSource(shardSeed(opt.Seed, i)))
@@ -136,6 +148,11 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 		if opt.KeepSamples {
 			sm.keep = make([]float64, 0, count)
 		}
+		if K > 1 {
+			runShardLanes(m, gateMu, gateSigma, opt, K, sc, count, sm, rng)
+			return
+		}
+		arr := sc.arr
 		for s := 0; s < count; s++ {
 			for _, id := range g.Topo {
 				nd := &g.C.Nodes[id]
@@ -179,12 +196,12 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 		workers = nShards
 	}
 	if workers == 1 {
-		arr := make([]float64, n)
+		sc := newMCScratch(n, K)
 		for i := range shards {
 			if cancelled(done) {
 				return nil, ctx.Err()
 			}
-			runShard(arr, i)
+			runShard(sc, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -193,7 +210,7 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				arr := make([]float64, n)
+				sc := newMCScratch(n, K)
 				for {
 					if cancelled(done) {
 						return
@@ -202,7 +219,7 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 					if i >= nShards {
 						return
 					}
-					runShard(arr, i)
+					runShard(sc, i)
 				}
 			}()
 		}
@@ -241,6 +258,7 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 	if rec != nil {
 		rec.Count("mc.samples", int64(opt.Samples))
 		rec.Gauge("mc.shards", float64(nShards))
+		rec.Gauge("mc.lanes", float64(K))
 		telemetry.EndSpan(rec, "mc.run", tRun)
 	}
 	r := &Result{Mu: mean, Sigma: sigma}

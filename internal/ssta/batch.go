@@ -1,0 +1,548 @@
+package ssta
+
+import (
+	"fmt"
+
+	"repro/internal/delay"
+	"repro/internal/netlist"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// This file implements the batched multi-scenario analysis engine.
+// Corners, sigma levels, k-sweeps and Monte Carlo replicas all
+// re-walk the same topology with different numbers; a Batch walks it
+// once and evaluates K scenarios per node visit over
+// structure-of-arrays slabs. The layout contract, shared with the
+// K-lane gate kernel in internal/delay:
+//
+//	slab[int(id)*K + lane]
+//
+// Every per-node quantity — speed factor, arrival mean/variance, gate
+// delay mean/variance, adjoint — lives in one flat float64 slab with
+// the K lanes of a node adjacent, so the per-gate inner loops run
+// over contiguous K-strided spans: one traversal amortizes the graph
+// overhead (node metadata, fanin walks, pin offsets, load
+// recomputation) across all K scenarios and leaves the lane loops
+// free for the compiler to vectorize. The fold tape is laid out the
+// same way, K Jacobians per fold step, so the adjoint sweep is
+// batched too.
+//
+// Determinism: lane l performs exactly the floating-point operations
+// of the scalar scenario sweep (AnalyzeScenario / BackwardScenario),
+// in the same order — lanes never mix. On top of the lanes sits the
+// existing worker-parallel levelization: workers split level buckets,
+// lanes split scenarios, and the adjoint keeps the compute/apply
+// split of backwardInto, so results are bit-identical to K
+// independent scalar runs for every (K, workers) pair.
+
+// BatchOptions configures a Batch.
+type BatchOptions struct {
+	// Workers bounds the level parallelism: <= 0 uses one worker per
+	// CPU, 1 forces the serial sweep. Results are bit-identical for
+	// every worker count; only the serial path is allocation-free in
+	// the steady state.
+	Workers int
+	// Recorder, when non-nil, receives one worker-invariant
+	// "batch.sweep" event per Forward (lane count, node count, sweep
+	// index, lane-0 circuit moments). Nil disables instrumentation at
+	// zero cost.
+	Recorder telemetry.Recorder
+}
+
+// Batch is a persistent K-scenario structure-of-arrays sweep engine.
+// It is not safe for concurrent use; one Batch serves one evaluation
+// loop, and all returned slices are engine-owned scratch overwritten
+// by the next call unless documented otherwise.
+type Batch struct {
+	m       *delay.Model
+	k       int
+	workers int
+	rec     telemetry.Recorder
+
+	// Scenario lanes: speed factors (K-strided), per-lane skew and
+	// the derived scale factor 1 + skew.
+	sLanes []float64
+	skew   []float64
+	scale  []float64
+
+	// Forward slabs, K-strided per node.
+	arrMu, arrVar []float64
+	gdMu, gdVar   []float64
+
+	// Fold tape: node id's step s lane l Jacobian sits at
+	// tape[tapeOff[id] + s*K + l]; outFold holds the output fold the
+	// same way ((len(outputs)-1) steps).
+	tape    []stats.Jac2x4
+	tapeOff []int
+	outFold []stats.Jac2x4
+
+	tmax []stats.MV // per-lane circuit moments of the last Forward
+
+	// Adjoint slabs (K-strided) plus the per-lane fold accumulators
+	// and kernel scratch used by the serial phases.
+	adjMu, adjVar  []float64
+	grad           []float64
+	dmu            []float64
+	accMu, accVar  []float64
+	loadBuf, wBuf  []float64
+	seedMu, phis   []float64
+	seedVar        []float64
+	cMu, cVar      []float64 // parallel adjoint contribution slots
+	off            []int     // per-node fanin offsets for cMu/cVar
+	sweeps, adjRun int
+}
+
+// NewBatch builds a K-lane engine for the model. Scenarios default to
+// unit sizes with zero skew; set them with SetScenario before the
+// first Forward.
+func NewBatch(m *delay.Model, K int, opt BatchOptions) *Batch {
+	if K < 1 {
+		panic(fmt.Sprintf("ssta: NewBatch needs at least 1 lane, got %d", K))
+	}
+	g := m.G
+	n := len(g.C.Nodes)
+	b := &Batch{
+		m:       m,
+		k:       K,
+		workers: resolveWorkers(opt.Workers),
+		rec:     opt.Recorder,
+		sLanes:  make([]float64, n*K),
+		skew:    make([]float64, K),
+		scale:   make([]float64, K),
+		arrMu:   make([]float64, n*K),
+		arrVar:  make([]float64, n*K),
+		gdMu:    make([]float64, n*K),
+		gdVar:   make([]float64, n*K),
+		tapeOff: make([]int, n),
+		tmax:    make([]stats.MV, K),
+		adjMu:   make([]float64, n*K),
+		adjVar:  make([]float64, n*K),
+		grad:    make([]float64, n*K),
+		dmu:     make([]float64, n*K),
+		accMu:   make([]float64, K),
+		accVar:  make([]float64, K),
+		loadBuf: make([]float64, K),
+		wBuf:    make([]float64, K),
+		seedMu:  make([]float64, K),
+		seedVar: make([]float64, K),
+		phis:    make([]float64, K),
+		off:     make([]int, n),
+	}
+	for l := range b.scale {
+		b.scale[l] = 1
+	}
+	for i := range b.sLanes {
+		b.sLanes[i] = 1
+	}
+	// Carve the K-strided tape out of one arena, and size the
+	// parallel adjoint contribution slots (one per fanin pin per
+	// lane, like backwardInto's cMu/cVar times K).
+	tapeTotal, pinTotal := 0, 0
+	for i := range g.C.Nodes {
+		b.tapeOff[i] = tapeTotal
+		if f := len(g.C.Nodes[i].Fanin); f > 1 {
+			tapeTotal += (f - 1) * K
+		}
+		b.off[i] = pinTotal
+		pinTotal += len(g.C.Nodes[i].Fanin)
+	}
+	b.tape = make([]stats.Jac2x4, tapeTotal)
+	if no := len(g.C.Outputs); no > 1 {
+		b.outFold = make([]stats.Jac2x4, (no-1)*K)
+	}
+	b.cMu = make([]float64, pinTotal*K)
+	b.cVar = make([]float64, pinTotal*K)
+	return b
+}
+
+// K returns the engine's lane count.
+func (b *Batch) K() int { return b.k }
+
+// SetScenario installs sc as lane l, copying the speed factors into
+// the lane slab. The change takes effect at the next Forward.
+func (b *Batch) SetScenario(l int, sc Scenario) {
+	if l < 0 || l >= b.k {
+		panic(fmt.Sprintf("ssta: Batch.SetScenario lane %d out of range [0,%d)", l, b.k))
+	}
+	n := len(b.m.G.C.Nodes)
+	if len(sc.S) != n {
+		panic(fmt.Sprintf("ssta: Batch.SetScenario got %d sizes for %d nodes", len(sc.S), n))
+	}
+	K := b.k
+	for id, s := range sc.S {
+		b.sLanes[id*K+l] = s
+	}
+	b.skew[l] = sc.Skew
+	b.scale[l] = 1 + sc.Skew
+}
+
+// forwardNodeLanes evaluates node id's K lanes from its fanins'
+// already-final lanes, writing only id-owned slab spans (the node's
+// own arrival, gate delay and tape lanes) so a level bucket can run
+// in parallel. Per lane the operation sequence matches
+// AnalyzeScenario exactly.
+func (b *Batch) forwardNodeLanes(id netlist.NodeID) {
+	K := b.k
+	m := b.m
+	nd := &m.G.C.Nodes[id]
+	base := int(id) * K
+	aMu := b.arrMu[base : base+K]
+	aVar := b.arrVar[base : base+K]
+	if nd.Kind == netlist.KindInput {
+		in := m.Arrival[id]
+		for l := 0; l < K; l++ {
+			aMu[l] = in.Mu
+			aVar[l] = in.Var
+		}
+		return
+	}
+	// U = max over fanin arrival lanes, folded two at a time with the
+	// node's own arrival lanes as the accumulator. The off == 0 guard
+	// mirrors shiftMV, which skips the add entirely (an add of +0
+	// would flip a -0 mean).
+	f0 := int(nd.Fanin[0]) * K
+	if off := m.PinOff(id, 0); off != 0 {
+		for l := 0; l < K; l++ {
+			aMu[l] = b.arrMu[f0+l] + off
+			aVar[l] = b.arrVar[f0+l]
+		}
+	} else {
+		copy(aMu, b.arrMu[f0:f0+K])
+		copy(aVar, b.arrVar[f0:f0+K])
+	}
+	tapeAt := b.tapeOff[id]
+	for k, f := range nd.Fanin[1:] {
+		off := m.PinOff(id, k+1)
+		fb := int(f) * K
+		steps := b.tape[tapeAt+k*K : tapeAt+k*K+K]
+		for l := 0; l < K; l++ {
+			bMV := stats.MV{Mu: b.arrMu[fb+l], Var: b.arrVar[fb+l]}
+			if off != 0 {
+				bMV.Mu += off
+			}
+			var res stats.MV
+			res, steps[l] = stats.Max2Jac(stats.MV{Mu: aMu[l], Var: aVar[l]}, bMV)
+			aMu[l], aVar[l] = res.Mu, res.Var
+		}
+	}
+	// T = U + t, with t from the K-lane gate kernel plus the per-lane
+	// skew scaling of scenarioGateMV.
+	gMu := b.gdMu[base : base+K]
+	gVar := b.gdVar[base : base+K]
+	m.GateMuLanes(id, K, b.sLanes, gMu)
+	for l := 0; l < K; l++ {
+		mu := gMu[l]
+		if b.skew[l] != 0 { // branch on the skew, like scenarioGateMV
+			mu *= b.scale[l]
+			if mu < 0 {
+				mu = 0
+			}
+			gMu[l] = mu
+		}
+		gVar[l] = m.Sigma.Var(mu)
+		aMu[l] += mu
+		aVar[l] += gVar[l]
+	}
+}
+
+// foldOutputLanes computes the per-lane circuit delay: the stochastic
+// max over the primary outputs in the fixed output order, recording
+// the K-strided output fold tape.
+func (b *Batch) foldOutputLanes() {
+	K := b.k
+	outs := b.m.G.C.Outputs
+	o0 := int(outs[0]) * K
+	for l := 0; l < K; l++ {
+		b.tmax[l] = stats.MV{Mu: b.arrMu[o0+l], Var: b.arrVar[o0+l]}
+	}
+	for i, o := range outs[1:] {
+		ob := int(o) * K
+		steps := b.outFold[i*K : i*K+K]
+		for l := 0; l < K; l++ {
+			b.tmax[l], steps[l] = stats.Max2Jac(b.tmax[l],
+				stats.MV{Mu: b.arrMu[ob+l], Var: b.arrVar[ob+l]})
+		}
+	}
+}
+
+// Forward runs the batched taped forward sweep over all K lanes and
+// returns the per-lane circuit delay moments (engine-owned,
+// overwritten by the next Forward). Allocation-free when warm with
+// Workers == 1.
+func (b *Batch) Forward() []stats.MV {
+	g := b.m.G
+	if b.workers == 1 {
+		for _, id := range g.Topo {
+			b.forwardNodeLanes(id)
+		}
+	} else {
+		for _, bucket := range g.Levels {
+			bucket := bucket
+			runLevel(b.workers, len(bucket), func(i int) {
+				b.forwardNodeLanes(bucket[i])
+			})
+		}
+	}
+	b.foldOutputLanes()
+	b.sweeps++
+	if b.rec != nil {
+		b.rec.Event("batch", "sweep",
+			telemetry.I("sweep", b.sweeps),
+			telemetry.I("lanes", b.k),
+			telemetry.I("nodes", len(g.C.Nodes)),
+			telemetry.F("mu0", b.tmax[0].Mu),
+			telemetry.F("var0", b.tmax[0].Var),
+		)
+	}
+	return b.tmax
+}
+
+// Tmax returns lane l's circuit delay moments as of the last Forward.
+func (b *Batch) Tmax(l int) stats.MV { return b.tmax[l] }
+
+// Arrival returns node id's lane-l arrival moments.
+func (b *Batch) Arrival(id netlist.NodeID, l int) stats.MV {
+	return stats.MV{Mu: b.arrMu[int(id)*b.k+l], Var: b.arrVar[int(id)*b.k+l]}
+}
+
+// GateDelay returns gate id's lane-l delay moments.
+func (b *Batch) GateDelay(id netlist.NodeID, l int) stats.MV {
+	return stats.MV{Mu: b.gdMu[int(id)*b.k+l], Var: b.gdVar[int(id)*b.k+l]}
+}
+
+// seedAdjointLanes unfolds the output max of every lane in reverse,
+// seeding the adjoint slabs from the per-lane seed pairs. Runs on the
+// coordinating goroutine, like seedAdjoint.
+func (b *Batch) seedAdjointLanes(seedMu, seedVar []float64) {
+	K := b.k
+	outs := b.m.G.C.Outputs
+	copy(b.accMu, seedMu)
+	copy(b.accVar, seedVar)
+	for i := len(outs) - 1; i >= 1; i-- {
+		ob := int(outs[i]) * K
+		steps := b.outFold[(i-1)*K : (i-1)*K+K]
+		for l := 0; l < K; l++ {
+			j := steps[l]
+			aMu, aVar := b.accMu[l], b.accVar[l]
+			b.adjMu[ob+l] += aMu*j[0][2] + aVar*j[1][2]
+			b.adjVar[ob+l] += aMu*j[0][3] + aVar*j[1][3]
+			b.accMu[l] = aMu*j[0][0] + aVar*j[1][0]
+			b.accVar[l] = aMu*j[0][1] + aVar*j[1][1]
+		}
+	}
+	o0 := int(outs[0]) * K
+	for l := 0; l < K; l++ {
+		b.adjMu[o0+l] += b.accMu[l]
+		b.adjVar[o0+l] += b.accVar[l]
+	}
+}
+
+// gradWeights converts the per-lane mean-delay adjoints of gate id
+// (already in b.dmu) into GateMu gradient weights, applying the skew
+// chain rule: a scaled lane contributes (1 + skew) per unit of
+// GateMu, a lane floored at zero contributes nothing (the one-sided
+// subgradient BackwardScenario uses).
+func (b *Batch) gradWeights(base int) []float64 {
+	K := b.k
+	for l := 0; l < K; l++ {
+		d := b.dmu[base+l]
+		if b.skew[l] != 0 {
+			if b.gdMu[base+l] == 0 {
+				d = 0
+			} else {
+				d *= b.scale[l]
+			}
+		}
+		b.wBuf[l] = d
+	}
+	return b.wBuf
+}
+
+// allZero reports whether every lane of a node's adjoint pair is
+// zero, the batched form of backwardNode's early-out.
+func allZero(mu, va []float64) bool {
+	for i := range mu {
+		if mu[i] != 0 || va[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// backwardNodeLanes pushes gate id's adjoint lanes into the gradient
+// slab and its fanins' adjoint lanes — the serial path, performing
+// per lane exactly BackwardScenario's operations in its order.
+func (b *Batch) backwardNodeLanes(id netlist.NodeID) {
+	K := b.k
+	m := b.m
+	base := int(id) * K
+	amL := b.adjMu[base : base+K]
+	avL := b.adjVar[base : base+K]
+	if allZero(amL, avL) {
+		return
+	}
+	for l := 0; l < K; l++ {
+		b.dmu[base+l] = amL[l] + avL[l]*m.Sigma.DVar(b.gdMu[base+l])
+	}
+	m.LoadLanes(id, K, b.sLanes, b.loadBuf)
+	m.GateMuGradLanes(id, K, b.sLanes, b.loadBuf, b.gradWeights(base), b.grad)
+
+	fanin := m.G.C.Nodes[id].Fanin
+	copy(b.accMu, amL)
+	copy(b.accVar, avL)
+	tapeAt := b.tapeOff[id]
+	for k := len(fanin) - 1; k >= 1; k-- {
+		fb := int(fanin[k]) * K
+		steps := b.tape[tapeAt+(k-1)*K : tapeAt+(k-1)*K+K]
+		for l := 0; l < K; l++ {
+			j := steps[l]
+			uMu, uVar := b.accMu[l], b.accVar[l]
+			b.adjMu[fb+l] += uMu*j[0][2] + uVar*j[1][2]
+			b.adjVar[fb+l] += uMu*j[0][3] + uVar*j[1][3]
+			b.accMu[l] = uMu*j[0][0] + uVar*j[1][0]
+			b.accVar[l] = uMu*j[0][1] + uVar*j[1][1]
+		}
+	}
+	f0 := int(fanin[0]) * K
+	for l := 0; l < K; l++ {
+		b.adjMu[f0+l] += b.accMu[l]
+		b.adjVar[f0+l] += b.accVar[l]
+	}
+}
+
+// Backward runs the batched adjoint sweep from per-lane seed pairs
+// (d phi_l / d muTmax_l, d phi_l / d varTmax_l) over the tape of the
+// last Forward and returns the K-strided gradient slab
+// grad[int(id)*K + lane] (engine-owned, overwritten by the next
+// Backward; gather a lane with Grad). Allocation-free when warm with
+// Workers == 1; bit-identical for every worker count.
+func (b *Batch) Backward(seedMu, seedVar []float64) []float64 {
+	K := b.k
+	if len(seedMu) != K || len(seedVar) != K {
+		panic(fmt.Sprintf("ssta: Batch.Backward got %d/%d seeds for %d lanes",
+			len(seedMu), len(seedVar), K))
+	}
+	g := b.m.G
+	clear(b.adjMu)
+	clear(b.adjVar)
+	clear(b.grad)
+	clear(b.dmu)
+	b.seedAdjointLanes(seedMu, seedVar)
+	if b.workers == 1 {
+		// Level 0 holds only primary inputs, which have no gradient.
+		for l := len(g.Levels) - 1; l >= 1; l-- {
+			for _, id := range g.Levels[l] {
+				b.backwardNodeLanes(id)
+			}
+		}
+		b.adjRun++
+		return b.grad
+	}
+	for lv := len(g.Levels) - 1; lv >= 1; lv-- {
+		bucket := g.Levels[lv]
+		// Compute phase: per-node contributions into the node's own
+		// cMu/cVar lanes, with the pin-0 slot doubling as the fold
+		// accumulator; pure reads of finalized adjoints and the tape.
+		runLevel(b.workers, len(bucket), func(i int) {
+			id := bucket[i]
+			base := int(id) * K
+			amL := b.adjMu[base : base+K]
+			avL := b.adjVar[base : base+K]
+			if allZero(amL, avL) {
+				return
+			}
+			for l := 0; l < K; l++ {
+				b.dmu[base+l] = amL[l] + avL[l]*b.m.Sigma.DVar(b.gdMu[base+l])
+			}
+			fanin := b.m.G.C.Nodes[id].Fanin
+			cb := b.off[id] * K
+			acc, accV := b.cMu[cb:cb+K], b.cVar[cb:cb+K]
+			copy(acc, amL)
+			copy(accV, avL)
+			tapeAt := b.tapeOff[id]
+			for k := len(fanin) - 1; k >= 1; k-- {
+				steps := b.tape[tapeAt+(k-1)*K : tapeAt+(k-1)*K+K]
+				pb := (b.off[id] + k) * K
+				for l := 0; l < K; l++ {
+					j := steps[l]
+					uMu, uVar := acc[l], accV[l]
+					b.cMu[pb+l] = uMu*j[0][2] + uVar*j[1][2]
+					b.cVar[pb+l] = uMu*j[0][3] + uVar*j[1][3]
+					acc[l] = uMu*j[0][0] + uVar*j[1][0]
+					accV[l] = uMu*j[0][1] + uVar*j[1][1]
+				}
+			}
+		})
+		// Apply phase: fixed bucket order on the coordinating
+		// goroutine, mirroring the serial per-node order (gradient
+		// first, then fanin pins high to low, pin 0 last).
+		for _, id := range bucket {
+			base := int(id) * K
+			if allZero(b.adjMu[base:base+K], b.adjVar[base:base+K]) {
+				continue
+			}
+			b.m.LoadLanes(id, K, b.sLanes, b.loadBuf)
+			b.m.GateMuGradLanes(id, K, b.sLanes, b.loadBuf, b.gradWeights(base), b.grad)
+			fanin := b.m.G.C.Nodes[id].Fanin
+			for k := len(fanin) - 1; k >= 1; k-- {
+				fb := int(fanin[k]) * K
+				pb := (b.off[id] + k) * K
+				for l := 0; l < K; l++ {
+					b.adjMu[fb+l] += b.cMu[pb+l]
+					b.adjVar[fb+l] += b.cVar[pb+l]
+				}
+			}
+			f0 := int(fanin[0]) * K
+			cb := b.off[id] * K
+			for l := 0; l < K; l++ {
+				b.adjMu[f0+l] += b.cMu[cb+l]
+				b.adjVar[f0+l] += b.cVar[cb+l]
+			}
+		}
+	}
+	b.adjRun++
+	return b.grad
+}
+
+// Grad gathers lane l of the last Backward's gradient into dst
+// (allocated when nil), indexed by NodeID.
+func (b *Batch) Grad(l int, dst []float64) []float64 {
+	n := len(b.m.G.C.Nodes)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	for id := 0; id < n; id++ {
+		dst[id] = b.grad[id*b.k+l]
+	}
+	return dst
+}
+
+// Criticality gathers lane l's per-gate mean-delay adjoints (the
+// statistical criticality under a (1, 0) seed) into dst.
+func (b *Batch) Criticality(l int, dst []float64) []float64 {
+	n := len(b.m.G.C.Nodes)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	for id := 0; id < n; id++ {
+		dst[id] = b.dmu[id*b.k+l]
+	}
+	return dst
+}
+
+// GradsMuPlusKSigma runs one batched forward plus one batched adjoint
+// sweep for the objective phi = mu + k*sigma in every lane, returning
+// the per-lane phi values (engine-owned). Gradients are left in the
+// engine's gradient slab; gather them with Grad. Lane l is
+// bit-identical to GradScenarioMuPlusKSigma of its scenario (and,
+// with zero skew, to GradMuPlusKSigma).
+func (b *Batch) GradsMuPlusKSigma(k float64) []float64 {
+	checkRiskFactor(k, "Batch.GradsMuPlusKSigma")
+	b.Forward()
+	for l := 0; l < b.k; l++ {
+		b.phis[l], b.seedMu[l], b.seedVar[l] = ObjectiveMuPlusKSigma(b.tmax[l], k)
+	}
+	b.Backward(b.seedMu, b.seedVar)
+	return b.phis
+}

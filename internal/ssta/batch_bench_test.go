@@ -1,0 +1,100 @@
+package ssta
+
+import (
+	"testing"
+)
+
+// The BatchCorner/BatchForward benchmark families measure what the
+// K-lane structure-of-arrays sweep buys over K independent scalar
+// traversals on the 1200-gate netlist. One scalar op is one full
+// traversal, one BatchK op is K sweeps in one traversal, so the
+// speedup at K is K * scalar / batchK. `make bench-batch` collects
+// both sides into BENCH_batch.json.
+
+func benchCornerScalar(b *testing.B, sweeps int) {
+	m := parallelTestModels(b)["gen1200"]
+	S := rampSizes(m)
+	ks := []float64{-3, -2, -1, 0, 0.5, 1, 2, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sweeps; s++ {
+			cornerSweep(m, S, ks[s])
+		}
+	}
+}
+
+func benchCornerBatch(b *testing.B, K int) {
+	m := parallelTestModels(b)["gen1200"]
+	S := rampSizes(m)
+	ks := []float64{-3, -2, -1, 0, 0.5, 1, 2, 3}
+	db := NewDetBatch(m, ks[:K], 1)
+	db.Sweep(S)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Sweep(S)
+	}
+}
+
+// One scalar corner traversal: the per-sweep baseline.
+func BenchmarkCornerScalarGen1200(b *testing.B) { benchCornerScalar(b, 1) }
+
+// Eight scalar traversals: the work BatchK8 replaces in one pass.
+func BenchmarkCornerScalarX8Gen1200(b *testing.B) { benchCornerScalar(b, 8) }
+
+func BenchmarkCornerBatchK1Gen1200(b *testing.B) { benchCornerBatch(b, 1) }
+func BenchmarkCornerBatchK4Gen1200(b *testing.B) { benchCornerBatch(b, 4) }
+func BenchmarkCornerBatchK8Gen1200(b *testing.B) { benchCornerBatch(b, 8) }
+
+func benchForwardScalar(b *testing.B, sweeps int) {
+	m := parallelTestModels(b)["gen1200"]
+	S := rampSizes(m)
+	sc := Scenario{S: S}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sweeps; s++ {
+			AnalyzeScenario(m, sc)
+		}
+	}
+}
+
+func benchForwardBatch(b *testing.B, K int) {
+	m := parallelTestModels(b)["gen1200"]
+	S := rampSizes(m)
+	bt := NewBatch(m, K, BatchOptions{Workers: 1})
+	for l := 0; l < K; l++ {
+		bt.SetScenario(l, Scenario{S: S})
+	}
+	bt.Forward()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Forward()
+	}
+}
+
+func benchGradBatch(b *testing.B, K int) {
+	m := parallelTestModels(b)["gen1200"]
+	S := rampSizes(m)
+	bt := NewBatch(m, K, BatchOptions{Workers: 1})
+	for l := 0; l < K; l++ {
+		bt.SetScenario(l, Scenario{S: S})
+	}
+	bt.GradsMuPlusKSigma(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.GradsMuPlusKSigma(3)
+	}
+}
+
+func BenchmarkForwardScalarGen1200(b *testing.B)   { benchForwardScalar(b, 1) }
+func BenchmarkForwardScalarX8Gen1200(b *testing.B) { benchForwardScalar(b, 8) }
+
+func BenchmarkForwardBatchK1Gen1200(b *testing.B) { benchForwardBatch(b, 1) }
+func BenchmarkForwardBatchK4Gen1200(b *testing.B) { benchForwardBatch(b, 4) }
+func BenchmarkForwardBatchK8Gen1200(b *testing.B) { benchForwardBatch(b, 8) }
+
+func BenchmarkGradBatchK8Gen1200(b *testing.B) { benchGradBatch(b, 8) }

@@ -320,8 +320,12 @@ func (r *Result) Backward(m *delay.Model, S []float64, seedMu, seedVar float64) 
 // ObjectiveMuPlusKSigma returns phi = mu + k*sigma of the circuit
 // delay together with the adjoint seed pair for Backward. At sigma ->
 // 0 with k != 0 the seed saturates using a variance floor to keep the
-// gradient finite.
+// gradient finite. A non-finite k panics here, the single funnel every
+// mu + k*sigma objective path (serial, workers, ctx, batch) flows
+// through, so a NaN risk factor cannot surface downstream as a
+// silently absurd circuit delay.
 func ObjectiveMuPlusKSigma(tmax stats.MV, k float64) (phi, seedMu, seedVar float64) {
+	checkRiskFactor(k, "ObjectiveMuPlusKSigma")
 	if k == 0 {
 		return tmax.Mu, 1, 0
 	}

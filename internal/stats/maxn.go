@@ -138,16 +138,56 @@ func MaxDensityN(ms []MV, x float64) float64 {
 	return total
 }
 
-// quantileMaxN returns the p-quantile of the N-way maximum by
+// QuantileMaxN returns the p-quantile of the N-way maximum by
 // bisection on the product CDF; used by the distribution reports in
-// cmd/ssta and kept exported through QuantileMaxN.
+// cmd/ssta. Edge conventions follow dist.Quantile: a NaN p returns
+// NaN (bisection against NaN would silently converge to the lower
+// bracket endpoint), p >= 1 returns +Inf when any operand has
+// positive variance, and p <= 0 returns the distribution's essential
+// infimum — -Inf for all-Gaussian operands, or the largest point-mass
+// mean when zero-variance (point-mass) operands floor the maximum.
+// When every operand is a point mass the maximum is itself a point
+// mass and every quantile is its value. Negative or NaN operand
+// variances are treated as zero, the same normalization Max2 applies
+// on entry.
 func QuantileMaxN(ms []MV, p float64) float64 {
 	if len(ms) == 0 {
 		panic("stats: QuantileMaxN of no operands")
 	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	// pointFloor is the largest point-mass mean: the maximum can
+	// never fall below it, so it is the p -> 0 limit of the quantile
+	// whenever a degenerate operand exists.
+	pointFloor, havePoint, haveSpread := math.Inf(-1), false, false
+	for _, m := range ms {
+		if nnegVar(m.Var) > 0 {
+			haveSpread = true
+			continue
+		}
+		havePoint = true
+		if m.Mu > pointFloor {
+			pointFloor = m.Mu
+		}
+	}
+	if !haveSpread {
+		// A maximum of point masses is a point mass: its value at
+		// every p, matching dist.Quantile on a zero-sigma normal.
+		return pointFloor
+	}
+	if p <= 0 {
+		if havePoint {
+			return pointFloor
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, m := range ms {
-		s := math.Sqrt(m.Var)
+		s := math.Sqrt(nnegVar(m.Var))
 		if l := m.Mu - 12*s - 1; l < lo {
 			lo = l
 		}
@@ -158,7 +198,7 @@ func QuantileMaxN(ms []MV, p float64) float64 {
 	F := func(x float64) float64 {
 		v := 1.0
 		for _, m := range ms {
-			v *= m.Normal().CDF(x)
+			v *= (MV{Mu: m.Mu, Var: nnegVar(m.Var)}).Normal().CDF(x)
 		}
 		return v
 	}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileMaxNEdges: the p-range guards, table-driven in the style
+// of dist's edge tests. Before the guards a NaN p made every
+// F(mid) < p comparison false — the bisection silently converged to
+// the lower bracket endpoint and returned a finite garbage value —
+// and p <= 0 / p >= 1 returned the arbitrary ±(12*sigma + 1) bracket
+// endpoints instead of the true ∓Inf limits.
+func TestQuantileMaxNEdges(t *testing.T) {
+	gauss := []MV{{0, 1}, {0.5, 2}}
+	mixed := []MV{{0, 1}, {3, 0}, {-1, 0.5}} // point mass at 3 floors the max
+	points := []MV{{1, 0}, {4, 0}, {2, 0}}   // all point masses: max is the point 4
+	cases := []struct {
+		name string
+		ms   []MV
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"nan-p", gauss, math.NaN(), math.NaN()},
+		{"p-zero", gauss, 0, math.Inf(-1)},
+		{"p-negative", gauss, -0.5, math.Inf(-1)},
+		{"p-one", gauss, 1, math.Inf(1)},
+		{"p-above-one", gauss, 1.5, math.Inf(1)},
+		{"mixed-p-zero", mixed, 0, 3},          // essential infimum is the point mass
+		{"mixed-p-one", mixed, 1, math.Inf(1)}, // spread operands keep the right tail
+		{"points-p-zero", points, 0, 4},
+		{"points-p-half", points, 0.5, 4},
+		{"points-p-one", points, 1, 4},
+		{"points-nan-p", points, math.NaN(), math.NaN()},
+	}
+	for _, c := range cases {
+		got := QuantileMaxN(c.ms, c.p)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: QuantileMaxN(%v, %v) = %v, want NaN", c.name, c.ms, c.p, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: QuantileMaxN(%v, %v) = %v, want %v", c.name, c.ms, c.p, got, c.want)
+		}
+	}
+}
+
+// TestQuantileMaxNInteriorUnchanged: the guards must not disturb the
+// interior; the bisection result still inverts the product CDF.
+func TestQuantileMaxNInteriorUnchanged(t *testing.T) {
+	ms := []MV{{0, 1}, {0.5, 2}, {-1, 0.5}}
+	for _, p := range []float64{1e-6, 0.1, 0.5, 0.9, 1 - 1e-9} {
+		x := QuantileMaxN(ms, p)
+		F := 1.0
+		for _, m := range ms {
+			F *= m.Normal().CDF(x)
+		}
+		if math.Abs(F-p) > 1e-9 {
+			t.Errorf("p=%v: F(q)=%v", p, F)
+		}
+	}
+}
+
+// TestQuantileMaxNDegenerateVariance: negative and NaN operand
+// variances normalize to point masses (the Max2 entry convention)
+// instead of poisoning the bisection with NaN CDFs.
+func TestQuantileMaxNDegenerateVariance(t *testing.T) {
+	ms := []MV{{0, 1}, {2, math.NaN()}, {1, -0.5}}
+	got := QuantileMaxN(ms, 0)
+	if got != 2 {
+		t.Errorf("p=0 with NaN-var point mass: got %v, want 2", got)
+	}
+	// The product CDF is 0 below the point mass at 2 and jumps to
+	// Phi(2) ~ 0.977 there, so the median is the jump point itself.
+	mid := QuantileMaxN(ms, 0.5)
+	if math.Abs(mid-2) > 1e-9 {
+		t.Errorf("interior quantile with degenerate operands = %v, want 2", mid)
+	}
+}
