@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-inc bench-batch test-batch check trace faults
+.PHONY: build test vet race bench bench-inc bench-batch bench-hier test-batch test-hier check trace faults
 
 build:
 	$(GO) build ./...
@@ -31,8 +31,8 @@ bench-inc:
 		/^Benchmark(Inc|FullSweep|Greedy)/ { \
 			name = $$1; sub(/-[0-9]+$$/, "", name); \
 			if (n++) printf ",\n"; \
-			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", \
-				name, $$3, $$7 } \
+			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+				name, $$3, $$5, $$7 } \
 		END { print "\n]" }' /tmp/bench-inc.txt > BENCH_incremental.json
 	cat BENCH_incremental.json
 
@@ -52,8 +52,8 @@ bench-batch:
 		/^Benchmark(Corner|Forward|Grad|MCLanes)/ { \
 			name = $$1; sub(/-[0-9]+$$/, "", name); ns[name] = $$3; \
 			if (n++) printf ",\n"; \
-			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", \
-				name, $$3, $$7 } \
+			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+				name, $$3, $$5, $$7 } \
 		END { \
 			if (ns["BenchmarkCornerBatchK8Gen1200"]) \
 				printf ",\n  {\"name\": \"CornerK8Speedup\", \"speedup\": %.2f}", \
@@ -66,6 +66,49 @@ bench-batch:
 					ns["BenchmarkMCLanes1Gen1200"] / ns["BenchmarkMCLanes8Gen1200"]; \
 			print "\n]" }' /tmp/bench-batch.txt > BENCH_batch.json
 	cat BENCH_batch.json
+
+# bench-hier measures the hierarchical block-parallel SSTA engine
+# against the flat levelized sweeps on the streamed 100k-gate netlist
+# (the cmd/circuitgen gen100k preset): full forward+adjoint evaluations
+# at 1, 4 and 8 workers, and the warm single-gate sizing step where the
+# engine replays clean blocks as cached statistical timing macros.
+# Each benchmark runs 3 times and the minimum ns/op is kept (the same
+# min-of-N noise suppression as internal/bench.timeBest). The results
+# (ns/op, B/op, allocs/op and the derived speedups) land in
+# BENCH_hier.json; the macro-replay step must be at least 3x faster
+# than the flat full resweep, and the warm serial hierarchical sweeps
+# must report zero allocations.
+bench-hier:
+	$(GO) test -run NONE -bench 'Gen100k' -benchmem -count 3 -timeout 30m \
+		./internal/ssta/ | tee /tmp/bench-hier.txt
+	awk 'function emit(name) { \
+			printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+				(m++ ? ",\n" : ""), name, ns[name], by[name], al[name] } \
+		BEGIN { print "["; n = 0; m = 0 } \
+		/^Benchmark(Flat|Hier)(Grad|Step)Gen100k/ { \
+			name = $$1; sub(/-[0-9]+$$/, "", name); \
+			if (!(name in ns)) { order[n++] = name; ns[name] = $$3 } \
+			else if ($$3 + 0 < ns[name] + 0) ns[name] = $$3; \
+			by[name] = $$5; al[name] = $$7 } \
+		END { \
+			for (i = 0; i < n; i++) emit(order[i]); \
+			if (ns["BenchmarkHierGradGen100kW8"]) \
+				printf ",\n  {\"name\": \"HierFullSpeedupW8\", \"speedup\": %.2f}", \
+					ns["BenchmarkFlatGradGen100kW8"] / ns["BenchmarkHierGradGen100kW8"]; \
+			if (ns["BenchmarkHierStepGen100k"]) \
+				printf ",\n  {\"name\": \"HierStepSpeedup\", \"speedup\": %.2f}", \
+					ns["BenchmarkFlatStepGen100k"] / ns["BenchmarkHierStepGen100k"]; \
+			print "\n]" }' /tmp/bench-hier.txt > BENCH_hier.json
+	cat BENCH_hier.json
+
+# test-hier runs the hierarchical timing suite under the race detector
+# (the CI hier job): partitioner invariants and determinism fuzz,
+# blocked-vs-flat bit-identity fuzz across worker counts and block
+# targets (macro replay included), the worker-invariant telemetry
+# byte-identity check and the streamed generator round-trip.
+test-hier:
+	$(GO) test -race -timeout 5m -run 'Hier|Partition|GenerateStream|GenPreset' \
+		./internal/ssta/ ./internal/partition/ ./internal/netlist/
 
 # test-batch runs the batch equivalence suite — bit-identity of the
 # K-lane statistical/deterministic/Monte Carlo sweeps against

@@ -6,6 +6,13 @@
 //
 //	circuitgen -preset apex1 > apex1.ckt
 //	circuitgen -gates 500 -inputs 40 -outputs 10 -depth 14 -seed 7 -format blif
+//	circuitgen -preset gen100k > gen100k.ckt
+//
+// The gen100k and gen1m presets stream the netlist to stdout in .ckt
+// format with O(level width) memory — the circuit is never
+// materialized, so the million-gate preset runs on small machines.
+// Streamed emission is deterministic: a preset produces byte-identical
+// output on every run and platform.
 package main
 
 import (
@@ -18,7 +25,7 @@ import (
 
 func main() {
 	var (
-		preset   = flag.String("preset", "", "apex1 | apex2 | k2 | tree7 | fig2 (overrides the size flags)")
+		preset   = flag.String("preset", "", "apex1 | apex2 | k2 | tree7 | fig2 | gen100k | gen1m (overrides the size flags)")
 		gates    = flag.Int("gates", 100, "number of gates")
 		inputs   = flag.Int("inputs", 16, "number of primary inputs")
 		outputs  = flag.Int("outputs", 4, "minimum number of primary outputs")
@@ -36,6 +43,21 @@ func main() {
 		err error
 	)
 	switch *preset {
+	case "gen100k", "gen1m":
+		// Streamed presets: .ckt only, O(level width) memory.
+		if *format != "ckt" {
+			fatal(fmt.Errorf("preset %q streams and supports only -format ckt", *preset))
+		}
+		spec := netlist.Gen100kSpec()
+		if *preset == "gen1m" {
+			spec = netlist.Gen1MSpec()
+		}
+		if err := netlist.GenerateStream(os.Stdout, spec); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "circuitgen: %s: %d gates streamed, %d inputs, depth %d\n",
+			spec.Name, spec.Gates, spec.Inputs, spec.Depth)
+		return
 	case "":
 		c, err = netlist.Generate(netlist.GenSpec{
 			Name: *name, Gates: *gates, Inputs: *inputs, Outputs: *outputs,

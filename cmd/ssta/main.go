@@ -36,6 +36,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "Monte Carlo seed")
 		canonical   = flag.Bool("canonical", false, "also run the correlation-aware canonical sweep")
 		workers     = flag.Int("j", 0, "worker goroutines for the SSTA sweep and Monte Carlo (0 = all CPUs, 1 = serial; results are identical for any value)")
+		blocksFlag  = flag.Int("blocks", 0, "hierarchical verification pass with this block-size target (0 = off): partition the DAG, re-run the sweep block-parallel and check bit-identity")
 		traceFile   = flag.String("trace", "", "write a JSONL analysis trace to this file (byte-identical for every -j)")
 		metricsFlag = flag.Bool("metrics", false, "print the telemetry metrics summary table after the run")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -131,6 +132,24 @@ func main() {
 			can.Tmax.Mu, can.Tmax.Sigma())
 		if !math.IsNaN(can.OutputCorr) {
 			fmt.Printf("first-two-outputs correlation: %.4f\n", can.OutputCorr)
+		}
+	}
+	if *blocksFlag > 0 {
+		h := ssta.NewHier(m, S, ssta.HierOptions{
+			BlockTarget: *blocksFlag, Workers: *workers, Recorder: rec,
+		})
+		p := h.Partition()
+		match := h.Tmax() == r.Tmax
+		for id := range circ.Nodes {
+			if h.Arrival(netlist.NodeID(id)) != r.Arrival[id] {
+				match = false
+				break
+			}
+		}
+		fmt.Printf("hierarchical: %d blocks (target %d, max %d), bit-identical to flat: %v\n",
+			len(p.Blocks), p.Target, p.MaxBlock(), match)
+		if !match {
+			fatal(fmt.Errorf("hierarchical sweep diverged from the flat sweep"))
 		}
 	}
 	fmt.Printf("quantiles: 50%% = %.4f  84.1%% = %.4f  99.8%% = %.4f\n",

@@ -44,6 +44,7 @@ func main() {
 		greedyFlag    = flag.Bool("greedy", false, "use the TILOS-style greedy sensitivity sizer (incremental SSTA engine) instead of the NLP solver; needs a mu+Ksigma<= constraint")
 		verbose       = flag.Bool("v", false, "log solver progress (the telemetry event stream, rendered as text)")
 		workers       = flag.Int("j", 0, "worker goroutines for the SSTA sweeps and the NLP element evaluation engine (0 = all CPUs, 1 = serial; results are identical for any value)")
+		blocksFlag    = flag.Int("blocks", 0, "verify the final sizes through the hierarchical block-parallel engine with this block-size target (0 = off)")
 		traceFile     = flag.String("trace", "", "write a JSONL solver trace to this file (byte-identical for every -j)")
 		metricsFlag   = flag.Bool("metrics", false, "print the telemetry metrics summary table after the run")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -185,6 +186,23 @@ func main() {
 		}
 	}
 
+	// verifyBlocks re-analyzes the final sizes through the hierarchical
+	// block-parallel engine and insists on bit-identity with the flat
+	// sweep — an end-to-end cross-check of the sizing result's timing.
+	verifyBlocks := func(S []float64) {
+		if *blocksFlag <= 0 {
+			return
+		}
+		h := ssta.NewHier(m, S, ssta.HierOptions{BlockTarget: *blocksFlag, Workers: *workers})
+		flat := ssta.AnalyzeWorkers(m, S, false, *workers)
+		p := h.Partition()
+		if h.Tmax() != flat.Tmax {
+			fatal(fmt.Errorf("hierarchical verification diverged: blocked %+v flat %+v", h.Tmax(), flat.Tmax))
+		}
+		fmt.Printf("verified:  hierarchical re-analysis (%d blocks, target %d) bit-identical to flat\n",
+			len(p.Blocks), p.Target)
+	}
+
 	if *greedyFlag {
 		opt, ok := sizing.GreedyFromSpec(spec)
 		if !ok {
@@ -204,6 +222,7 @@ func main() {
 		}
 		fmt.Printf("greedy:    %d steps in %v — %s\n",
 			gr.Steps, time.Since(start).Round(time.Millisecond), met)
+		verifyBlocks(gr.S)
 		if *showSizes {
 			printSizes(circ, gr.S)
 		}
@@ -237,6 +256,8 @@ func main() {
 		out.Solver.SetupTime.Round(time.Microsecond),
 		out.Solver.InnerTime.Round(time.Microsecond),
 		out.Solver.Duration.Round(time.Microsecond))
+
+	verifyBlocks(out.S)
 
 	if *showSizes {
 		printSizes(circ, out.S)

@@ -23,8 +23,9 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | ksweep | all")
+		table      = flag.String("table", "all", "1 | 2 | 3 | yield | baseline | ksweep | hier | all")
 		samples    = flag.Int("samples", 200000, "Monte Carlo samples for the yield table")
+		hierGates  = flag.Int("gates", 100000, "netlist size for the hier scaling table")
 		verbose    = flag.Bool("v", false, "log per-run solver progress for Table 1")
 		checkTrace = flag.String("checktrace", "", "validate a JSONL telemetry trace and print an event census instead of running tables")
 	)
@@ -86,6 +87,13 @@ func main() {
 		}
 		t.Format(os.Stdout)
 	}
+	runHier := func() {
+		t, err := bench.RunHier(*hierGates, logf)
+		if err != nil {
+			fatal(err)
+		}
+		t.Format(os.Stdout)
+	}
 
 	switch *table {
 	case "1":
@@ -100,6 +108,8 @@ func main() {
 		runBaseline()
 	case "ksweep":
 		runKSweep()
+	case "hier":
+		runHier()
 	case "all":
 		run2()
 		run3()

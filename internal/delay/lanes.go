@@ -73,7 +73,9 @@ func (m *Model) GateMuGradLanes(id netlist.NodeID, K int, sLanes, load, scale, g
 		cin := m.CIn[f]
 		gf := grad[int(f)*K : int(f)*K+K]
 		for l := 0; l < K; l++ {
-			gf[l] += scale[l] * c * cin / s[l]
+			// (scale*c/s)*cin — the scalar GateMuGrad's hoisted pin
+			// expression shape, kept bitwise in lockstep.
+			gf[l] += scale[l] * c / s[l] * cin
 		}
 	}
 }

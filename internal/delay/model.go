@@ -113,6 +113,16 @@ func (m *Model) GateMV(id netlist.NodeID, S []float64) stats.MV {
 	return stats.MV{Mu: mu, Var: m.Sigma.Var(mu)}
 }
 
+// GateMVLoaded is GateMV with the capacitive load supplied by the
+// caller. Load is a pure function of the fanout speed factors, so an
+// engine that caches loads and invalidates them under the SDependents
+// rule passes bitwise the value Load would recompute — the delay
+// expressions here are exactly GateMu/GateMV's.
+func (m *Model) GateMVLoaded(id netlist.NodeID, S []float64, load float64) stats.MV {
+	mu := m.TInt[id] + m.Coef*load/S[id]
+	return stats.MV{Mu: mu, Var: m.Sigma.Var(mu)}
+}
+
 // GateMuGrad accumulates scale * d(GateMu(id))/dS into grad. The mean
 // delay of gate id depends on its own speed factor (through 1/S) and
 // on the speed factors of its fanout gates (through the load):
@@ -123,10 +133,44 @@ func (m *Model) GateMV(id netlist.NodeID, S []float64) stats.MV {
 // A gate driving the same fanout gate through k pins accumulates the
 // pin term k times, matching the load model.
 func (m *Model) GateMuGrad(id netlist.NodeID, S []float64, scale float64, grad []float64) {
-	load := m.Load(id, S)
+	m.GateMuGradLoaded(id, S, m.Load(id, S), scale, grad)
+}
+
+// GateMuGradLoaded is GateMuGrad with a caller-supplied load (see
+// GateMVLoaded for the caching contract).
+func (m *Model) GateMuGradLoaded(id netlist.NodeID, S []float64, load, scale float64, grad []float64) {
 	grad[id] += scale * -m.Coef * load / (S[id] * S[id])
+	// The pin factor is hoisted out of the fanout loop — one divide
+	// per gate instead of per pin. Every other producer of these
+	// terms (GateMuGradTermsLoaded, the K-lane GateMuGradLanes) uses
+	// the same (scale*c/S)*CIn expression shape, which is what keeps
+	// their results bit-identical to this accumulation.
+	pin := scale * m.Coef / S[id]
 	for _, f := range m.G.Fanout[id] {
-		grad[f] += scale * m.Coef * m.CIn[f] / S[id]
+		grad[f] += pin * m.CIn[f]
+	}
+}
+
+// GateMuGradTerms computes exactly the terms GateMuGrad would
+// accumulate, but writes them to caller-owned slots instead of
+// adding them into a shared gradient vector: self receives the
+// d mu / d S_id term and pins[j] the term for fanout entry j
+// (pins must have len(G.Fanout[id])). Each term is produced by the
+// same floating-point expression as in GateMuGrad, so a caller that
+// folds the slots in GateMuGrad's accumulation order reproduces its
+// result bit for bit — the contract the block-parallel adjoint sweep
+// of internal/ssta is built on.
+func (m *Model) GateMuGradTerms(id netlist.NodeID, S []float64, scale float64, self *float64, pins []float64) {
+	m.GateMuGradTermsLoaded(id, S, m.Load(id, S), scale, self, pins)
+}
+
+// GateMuGradTermsLoaded is GateMuGradTerms with a caller-supplied
+// load (see GateMVLoaded for the caching contract).
+func (m *Model) GateMuGradTermsLoaded(id netlist.NodeID, S []float64, load, scale float64, self *float64, pins []float64) {
+	*self = scale * -m.Coef * load / (S[id] * S[id])
+	pin := scale * m.Coef / S[id]
+	for j, f := range m.G.Fanout[id] {
+		pins[j] = pin * m.CIn[f]
 	}
 }
 

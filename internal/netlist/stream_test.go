@@ -1,0 +1,85 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGenerateStreamDeterministic asserts the streamed emission is
+// byte-identical across runs of the same spec and differs across
+// seeds.
+func TestGenerateStreamDeterministic(t *testing.T) {
+	spec := GenSpec{
+		Name: "stream2k", Gates: 2000, Inputs: 64, Outputs: 16,
+		Depth: 24, MaxFanin: 4, Seed: 77,
+	}
+	var a, b bytes.Buffer
+	if err := GenerateStream(&a, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateStream(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same spec produced different bytes")
+	}
+	spec.Seed = 78
+	b.Reset()
+	if err := GenerateStream(&b, spec); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("different seeds produced identical bytes")
+	}
+}
+
+// TestGenerateStreamWellFormed round-trips the stream through the
+// .ckt reader and the compiler, pinning the structural contract: exact
+// gate count and depth, bounded fan-in, at least the requested
+// outputs, no dangling gates.
+func TestGenerateStreamWellFormed(t *testing.T) {
+	spec := GenSpec{
+		Name: "stream3k", Gates: 3000, Inputs: 96, Outputs: 24,
+		Depth: 30, MaxFanin: 4, Seed: 5,
+	}
+	var buf bytes.Buffer
+	if err := GenerateStream(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadCKT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustCompile(c)
+	gates := 0
+	for _, nd := range c.Nodes {
+		if nd.Kind != KindGate {
+			continue
+		}
+		gates++
+		if len(nd.Fanin) < 1 || len(nd.Fanin) > spec.MaxFanin {
+			t.Fatalf("gate %s has %d fanins", nd.Name, len(nd.Fanin))
+		}
+	}
+	if gates != spec.Gates {
+		t.Fatalf("got %d gates, want %d", gates, spec.Gates)
+	}
+	if got := len(g.Levels) - 1; got != spec.Depth {
+		t.Fatalf("depth %d, want %d", got, spec.Depth)
+	}
+	if len(c.Outputs) < spec.Outputs {
+		t.Fatalf("got %d outputs, want >= %d", len(c.Outputs), spec.Outputs)
+	}
+	if d := g.DanglingGates(); len(d) != 0 {
+		t.Fatalf("%d dangling gates", len(d))
+	}
+}
+
+// TestGenPresetSpecsValid pins the canonical benchmark specs.
+func TestGenPresetSpecsValid(t *testing.T) {
+	for _, spec := range []GenSpec{Gen100kSpec(), Gen1MSpec()} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package partition cuts a compiled netlist DAG into ~cache-sized
+// blocks along topological frontiers, producing the block-level
+// dependency DAG that drives the hierarchical block-parallel SSTA
+// engine of internal/ssta (the "hierarchical statistical timing
+// macro" decomposition of Li et al.'s hierarchical SSTA).
+//
+// The cut is deliberately conservative: a block never spans a level
+// boundary. Every fanin edge strictly increases the topological
+// level, so with level-pure blocks every block-to-block edge goes
+// from a lower level to a higher one and the block dependency graph
+// is acyclic by construction — no cycle detection, no merging, and a
+// blocked evaluation with exact boundary arrivals is a pure
+// reordering of the flat levelized sweep.
+//
+// Within a level, nodes are grouped by logic-cone affinity before
+// chunking: each node carries a cluster id inherited from its first
+// fanin driver (inputs seed the clusters), so the nodes of one cone
+// land in the same block and a block's fanin blocks concentrate in
+// the few blocks holding the cone's upstream logic. That keeps the
+// block dependency lists short — which is what lets the dataflow
+// scheduler run unrelated cones concurrently instead of meeting at a
+// global level barrier — and keeps a block's working set (its slab
+// span plus the boundary arrivals it reads) cache-resident.
+//
+// Everything here is a pure, deterministic function of the compiled
+// graph and the options: no maps are iterated, no randomness is
+// drawn, and the result is bit-for-bit identical across runs, worker
+// counts, and platforms.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// DefaultBlockTarget is the aimed-for node count per block when
+// Options.BlockTarget is unset. At 16 bytes per arrival moment pair
+// plus the tape, a 512-node block's hot slabs fit comfortably in L1.
+const DefaultBlockTarget = 512
+
+// Options parameterizes the cut.
+type Options struct {
+	// BlockTarget is the aimed-for number of nodes per block;
+	// <= 0 selects DefaultBlockTarget. Levels narrower than the
+	// target form a single smaller block; wider levels are split
+	// into balanced chunks of at most BlockTarget nodes.
+	BlockTarget int
+}
+
+// Block is one unit of the cut: a set of same-level nodes evaluated
+// as a whole by the block scheduler.
+type Block struct {
+	// Nodes lists the member node ids in evaluation order
+	// (cluster-major within the level, stable within a cluster).
+	Nodes []netlist.NodeID
+	// Level is the topological level shared by every member node.
+	Level int
+	// Fanin lists the distinct predecessor blocks (blocks holding at
+	// least one fanin of a member node), ascending. All entries are
+	// strictly smaller than this block's id.
+	Fanin []int32
+	// Fanout lists the distinct successor blocks, ascending. All
+	// entries are strictly larger than this block's id.
+	Fanout []int32
+}
+
+// Partition is the block decomposition of a graph.
+type Partition struct {
+	G      *netlist.Graph
+	Target int // the effective block target
+	Blocks []Block
+	// BlockOf[id] is the block holding node id.
+	BlockOf []int32
+}
+
+// New cuts g into blocks. The result is a deterministic function of
+// (g, opt): identical across runs and independent of any worker
+// count the consumer later evaluates it with.
+func New(g *netlist.Graph, opt Options) *Partition {
+	target := opt.BlockTarget
+	if target <= 0 {
+		target = DefaultBlockTarget
+	}
+	n := len(g.C.Nodes)
+	p := &Partition{G: g, Target: target, BlockOf: make([]int32, n)}
+
+	// Cluster assignment: inputs seed one cluster each (dense by
+	// discovery order); a gate inherits the cluster of its first
+	// fanin, the pin that established its level in the generator and
+	// the dominant driver in mapped netlists. Walking Topo guarantees
+	// fanin clusters are assigned first.
+	cluster := make([]int32, n)
+	nextCluster := int32(0)
+	for _, id := range g.Topo {
+		if g.C.Nodes[id].Kind == netlist.KindInput {
+			cluster[id] = nextCluster
+			nextCluster++
+			continue
+		}
+		cluster[id] = cluster[g.C.Nodes[id].Fanin[0]]
+	}
+
+	// Cut each level bucket: order by (cluster, bucket position) —
+	// stable, so ties keep the canonical level order — then split
+	// into balanced chunks of at most target nodes.
+	scratch := make([]netlist.NodeID, 0, target)
+	for lvl, bucket := range g.Levels {
+		scratch = append(scratch[:0], bucket...)
+		sort.SliceStable(scratch, func(i, j int) bool {
+			return cluster[scratch[i]] < cluster[scratch[j]]
+		})
+		nb := (len(scratch) + target - 1) / target
+		base, rem := len(scratch)/nb, len(scratch)%nb
+		at := 0
+		for c := 0; c < nb; c++ {
+			size := base
+			if c < rem {
+				size++
+			}
+			id := int32(len(p.Blocks))
+			nodes := make([]netlist.NodeID, size)
+			copy(nodes, scratch[at:at+size])
+			at += size
+			for _, nd := range nodes {
+				p.BlockOf[nd] = id
+			}
+			p.Blocks = append(p.Blocks, Block{Nodes: nodes, Level: lvl})
+		}
+	}
+
+	// Block dependency lists. mark/gen dedupes without a map; the
+	// fanin list is sorted ascending, and because blocks are visited
+	// ascending, every fanout list comes out ascending too.
+	mark := make([]int32, len(p.Blocks))
+	for i := range mark {
+		mark[i] = -1
+	}
+	for b := range p.Blocks {
+		blk := &p.Blocks[b]
+		for _, id := range blk.Nodes {
+			for _, f := range g.C.Nodes[id].Fanin {
+				pb := p.BlockOf[f]
+				if mark[pb] != int32(b) {
+					mark[pb] = int32(b)
+					blk.Fanin = append(blk.Fanin, pb)
+				}
+			}
+		}
+		sort.Slice(blk.Fanin, func(i, j int) bool { return blk.Fanin[i] < blk.Fanin[j] })
+		for _, pb := range blk.Fanin {
+			p.Blocks[pb].Fanout = append(p.Blocks[pb].Fanout, int32(b))
+		}
+	}
+	return p
+}
+
+// MaxBlock returns the size of the largest block.
+func (p *Partition) MaxBlock() int {
+	max := 0
+	for i := range p.Blocks {
+		if len(p.Blocks[i].Nodes) > max {
+			max = len(p.Blocks[i].Nodes)
+		}
+	}
+	return max
+}
+
+// Check validates the structural invariants the scheduler relies on:
+// every node in exactly one block, level-pure blocks, bounded block
+// sizes, and dependency lists that are sorted, deduplicated and
+// strictly order-respecting (ancestors have smaller ids — the
+// acyclicity witness). It is O(V+E) and intended for tests.
+func (p *Partition) Check() error {
+	g := p.G
+	seen := make([]bool, len(g.C.Nodes))
+	for b := range p.Blocks {
+		blk := &p.Blocks[b]
+		if len(blk.Nodes) == 0 {
+			return fmt.Errorf("partition: block %d is empty", b)
+		}
+		if len(blk.Nodes) > p.Target {
+			return fmt.Errorf("partition: block %d has %d nodes, target %d", b, len(blk.Nodes), p.Target)
+		}
+		for _, id := range blk.Nodes {
+			if seen[id] {
+				return fmt.Errorf("partition: node %d in more than one block", id)
+			}
+			seen[id] = true
+			if g.Level[id] != blk.Level {
+				return fmt.Errorf("partition: node %d level %d in level-%d block %d", id, g.Level[id], blk.Level, b)
+			}
+			if p.BlockOf[id] != int32(b) {
+				return fmt.Errorf("partition: BlockOf[%d] = %d, want %d", id, p.BlockOf[id], b)
+			}
+		}
+		for i, pb := range blk.Fanin {
+			if pb >= int32(b) {
+				return fmt.Errorf("partition: block %d fanin %d not an ancestor", b, pb)
+			}
+			if i > 0 && blk.Fanin[i-1] >= pb {
+				return fmt.Errorf("partition: block %d fanin list not strictly ascending", b)
+			}
+		}
+		for i, sb := range blk.Fanout {
+			if sb <= int32(b) {
+				return fmt.Errorf("partition: block %d fanout %d not a descendant", b, sb)
+			}
+			if i > 0 && blk.Fanout[i-1] >= sb {
+				return fmt.Errorf("partition: block %d fanout list not strictly ascending", b)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			return fmt.Errorf("partition: node %d not assigned to any block", id)
+		}
+	}
+	return nil
+}

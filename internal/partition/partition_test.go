@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// testGraphs covers the built-in circuits plus generated netlists of
+// varying shape — wide shallow, narrow deep, heavily coned.
+func testGraphs(t testing.TB) map[string]*netlist.Graph {
+	t.Helper()
+	graphs := map[string]*netlist.Graph{
+		"tree7": netlist.MustCompile(netlist.Tree7()),
+		"fig2":  netlist.MustCompile(netlist.Fig2Example()),
+		"apex1": netlist.MustCompile(netlist.Apex1Like()),
+		"k2":    netlist.MustCompile(netlist.K2Like()),
+	}
+	specs := []netlist.GenSpec{
+		{Name: "wide", Gates: 900, Inputs: 120, Outputs: 30, Depth: 6, MaxFanin: 4, Seed: 7},
+		{Name: "deep", Gates: 800, Inputs: 16, Outputs: 8, Depth: 60, MaxFanin: 3, Seed: 11},
+		{Name: "cone", Gates: 1200, Inputs: 48, Outputs: 12, Depth: 18, MaxFanin: 4, Seed: 1234},
+	}
+	for _, sp := range specs {
+		c, err := netlist.Generate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[sp.Name] = netlist.MustCompile(c)
+	}
+	return graphs
+}
+
+// TestPartitionInvariants runs the structural validator over every
+// test graph at degenerate, small, default and whole-graph block
+// targets.
+func TestPartitionInvariants(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, target := range []int{1, 7, 64, 0, len(g.C.Nodes)} {
+			p := New(g, Options{BlockTarget: target})
+			if err := p.Check(); err != nil {
+				t.Errorf("%s target=%d: %v", name, target, err)
+			}
+			want := target
+			if want <= 0 {
+				want = DefaultBlockTarget
+			}
+			if mb := p.MaxBlock(); mb > want {
+				t.Errorf("%s target=%d: MaxBlock %d exceeds target", name, target, mb)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterminismFuzz partitions randomized netlists twice
+// (recompiling the circuit in between) and asserts the cuts are deeply
+// identical — block membership, order and dependency lists. The cut
+// must be a pure function of (graph, options).
+func TestPartitionDeterminismFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sp := netlist.GenSpec{
+			Name:   fmt.Sprintf("fuzz%d", seed),
+			Gates:  200 + int(seed)*137,
+			Inputs: 8 + int(seed)*5, Outputs: 4 + int(seed)*2,
+			Depth: 5 + int(seed)*3, MaxFanin: 2 + int(seed%3),
+			Seed: seed,
+		}
+		c1, err := netlist.Generate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := netlist.Generate(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []int{1, 31, 64, 0} {
+			p1 := New(netlist.MustCompile(c1), Options{BlockTarget: target})
+			p2 := New(netlist.MustCompile(c2), Options{BlockTarget: target})
+			if err := p1.Check(); err != nil {
+				t.Fatalf("seed=%d target=%d: %v", seed, target, err)
+			}
+			if !reflect.DeepEqual(p1.Blocks, p2.Blocks) {
+				t.Fatalf("seed=%d target=%d: block structure not deterministic", seed, target)
+			}
+			if !reflect.DeepEqual(p1.BlockOf, p2.BlockOf) {
+				t.Fatalf("seed=%d target=%d: BlockOf not deterministic", seed, target)
+			}
+		}
+	}
+}
+
+// TestPartitionWholeLevelBlocks pins the degenerate upper bound: with
+// the target at least the widest level, each level forms exactly one
+// block and the block DAG is the level chain plus cross-level edges.
+func TestPartitionWholeLevelBlocks(t *testing.T) {
+	g := testGraphs(t)["cone"]
+	p := New(g, Options{BlockTarget: len(g.C.Nodes)})
+	if got, want := len(p.Blocks), len(g.Levels); got != want {
+		t.Fatalf("whole-level cut has %d blocks, want %d (one per level)", got, want)
+	}
+	for b := range p.Blocks {
+		if p.Blocks[b].Level != b {
+			t.Fatalf("block %d holds level %d, want %d", b, p.Blocks[b].Level, b)
+		}
+		if len(p.Blocks[b].Nodes) != len(g.Levels[b]) {
+			t.Fatalf("block %d has %d nodes, level has %d", b, len(p.Blocks[b].Nodes), len(g.Levels[b]))
+		}
+	}
+}

@@ -22,10 +22,10 @@ func TestCanonicalMatchesIndependenceOnTree(t *testing.T) {
 		S := m.UnitSizes()
 		ind := Analyze(m, S, false).Tmax
 		can := AnalyzeCanonical(m, S).Tmax
-		if !close(can.Mu, ind.Mu, 1e-9) {
+		if !approxEq(can.Mu, ind.Mu, 1e-9) {
 			t.Errorf("%s: canonical mu %v vs independence %v", c.Name, can.Mu, ind.Mu)
 		}
-		if !close(can.Var, ind.Var, 1e-9) {
+		if !approxEq(can.Var, ind.Var, 1e-9) {
 			t.Errorf("%s: canonical var %v vs independence %v", c.Name, can.Var, ind.Var)
 		}
 	}
@@ -40,7 +40,7 @@ func TestCanonicalPerNodeMomentsOnChain(t *testing.T) {
 	for _, id := range g.C.GateIDs() {
 		want = stats.Add(want, m.GateMV(id, S))
 		got := can.Arrival[id]
-		if !close(got.Mu, want.Mu, 1e-12) || !close(got.Var, want.Var, 1e-12) {
+		if !approxEq(got.Mu, want.Mu, 1e-12) || !approxEq(got.Var, want.Var, 1e-12) {
 			t.Errorf("arrival(%s) = %+v, want %+v", g.C.Nodes[id].Name, got, want)
 		}
 	}
@@ -90,7 +90,7 @@ func TestCanonicalIdenticalOperandsExact(t *testing.T) {
 	S := m.UnitSizes()
 	can := AnalyzeCanonical(m, S)
 	want := stats.Add(m.GateMV(g.C.MustID("g1"), S), m.GateMV(g.C.MustID("g2"), S))
-	if !close(can.Tmax.Mu, want.Mu, 1e-9) || !close(can.Tmax.Var, want.Var, 1e-9) {
+	if !approxEq(can.Tmax.Mu, want.Mu, 1e-9) || !approxEq(can.Tmax.Var, want.Var, 1e-9) {
 		t.Errorf("dup-pin Tmax = %+v, want %+v", can.Tmax, want)
 	}
 	ind := Analyze(m, S, false).Tmax

@@ -57,7 +57,7 @@ func TestStatQuantileCalibratedOnChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := mc.Quantile(0.998)
-	if !close(cr.StatQuantile, q, 0.02*q) {
+	if !approxEq(cr.StatQuantile, q, 0.02*q) {
 		t.Errorf("stat quantile %v vs MC 99.8%% point %v", cr.StatQuantile, q)
 	}
 	if cr.Worst < q*1.1 {

@@ -33,7 +33,7 @@ func TestPinOffsetsShiftDeterministicArrival(t *testing.T) {
 	// Tmax = 0.7 + gate delay.
 	g := m.G.C.MustID("g")
 	want := 0.7 + m.GateMu(g, S)
-	if !close(r.Tmax, want, 1e-12) {
+	if !approxEq(r.Tmax, want, 1e-12) {
 		t.Errorf("det Tmax = %v, want %v", r.Tmax, want)
 	}
 	// The critical path must come through input b.
@@ -51,12 +51,12 @@ func TestPinOffsetsShiftStatisticalArrival(t *testing.T) {
 	r := Analyze(m, S, false)
 	g := m.G.C.MustID("g")
 	want := 5 + m.GateMu(g, S)
-	if !close(r.Tmax.Mu, want, 1e-9) {
+	if !approxEq(r.Tmax.Mu, want, 1e-9) {
 		t.Errorf("stat Tmax.Mu = %v, want %v", r.Tmax.Mu, want)
 	}
 	// Canonical agrees.
 	can := AnalyzeCanonical(m, S)
-	if !close(can.Tmax.Mu, want, 1e-9) {
+	if !approxEq(can.Tmax.Mu, want, 1e-9) {
 		t.Errorf("canonical Tmax.Mu = %v, want %v", can.Tmax.Mu, want)
 	}
 }
@@ -75,7 +75,7 @@ func TestPinOffsetsGradientStillExact(t *testing.T) {
 	_, grad := GradMuPlusKSigma(m, S, 3)
 	for _, id := range g.C.GateIDs() {
 		fd := gradFD(m, S, 3, id)
-		if !close(grad[id], fd, 2e-4) {
+		if !approxEq(grad[id], fd, 2e-4) {
 			t.Errorf("d/dS[%s]: adjoint %v, FD %v", g.C.Nodes[id].Name, grad[id], fd)
 		}
 	}

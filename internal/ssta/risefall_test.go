@@ -37,11 +37,11 @@ func TestRiseFallZeroSkewMatchesPlain(t *testing.T) {
 		// identical (and perfectly dependent) arrivals equals each —
 		// but the independent Max2 inflates slightly; compare the
 		// per-sense delays instead.
-		if !close(rf.TmaxRise.Mu, plain.Mu, 1e-9) || !close(rf.TmaxFall.Mu, plain.Mu, 1e-9) {
+		if !approxEq(rf.TmaxRise.Mu, plain.Mu, 1e-9) || !approxEq(rf.TmaxFall.Mu, plain.Mu, 1e-9) {
 			t.Errorf("%s: per-sense mu %v/%v vs plain %v",
 				c.Name, rf.TmaxRise.Mu, rf.TmaxFall.Mu, plain.Mu)
 		}
-		if !close(rf.TmaxRise.Var, plain.Var, 1e-9) {
+		if !approxEq(rf.TmaxRise.Var, plain.Var, 1e-9) {
 			t.Errorf("%s: per-sense var %v vs plain %v", c.Name, rf.TmaxRise.Var, plain.Var)
 		}
 	}
@@ -83,10 +83,10 @@ func TestRiseFallNonInvertingChainAccumulatesSkew(t *testing.T) {
 	S := m.UnitSizes()
 	base := AnalyzeRiseFall(m, S, 0)
 	skewed := AnalyzeRiseFall(m, S, 0.3)
-	if !close(skewed.TmaxRise.Mu, 1.3*base.TmaxRise.Mu, 1e-9) {
+	if !approxEq(skewed.TmaxRise.Mu, 1.3*base.TmaxRise.Mu, 1e-9) {
 		t.Errorf("buffer chain rise %v, want %v", skewed.TmaxRise.Mu, 1.3*base.TmaxRise.Mu)
 	}
-	if !close(skewed.TmaxFall.Mu, 0.7*base.TmaxFall.Mu, 1e-9) {
+	if !approxEq(skewed.TmaxFall.Mu, 0.7*base.TmaxFall.Mu, 1e-9) {
 		t.Errorf("buffer chain fall %v, want %v", skewed.TmaxFall.Mu, 0.7*base.TmaxFall.Mu)
 	}
 }

@@ -19,11 +19,11 @@ func TestSlacksChainDecomposition(t *testing.T) {
 	deadline := det.Tmax + 2
 	sr := Slacks(m, S, 0, deadline)
 	for _, id := range g.C.GateIDs() {
-		if !close(sr.Slack[id], 2, 1e-9) {
+		if !approxEq(sr.Slack[id], 2, 1e-9) {
 			t.Errorf("slack(%s) = %v, want 2", g.C.Nodes[id].Name, sr.Slack[id])
 		}
 	}
-	if !close(sr.WorstSlack, 2, 1e-9) {
+	if !approxEq(sr.WorstSlack, 2, 1e-9) {
 		t.Errorf("worst slack = %v", sr.WorstSlack)
 	}
 }

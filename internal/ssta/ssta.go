@@ -57,6 +57,27 @@ func forwardNode(r *Result, m *delay.Model, S []float64, id netlist.NodeID, with
 		r.Arrival[id] = m.Arrival[id]
 		return
 	}
+	forwardGate(r, m, nd, id, m.GateMV(id, S), withTape)
+}
+
+// forwardNodeLoaded is forwardNode with the gate's capacitive load
+// supplied by the caller — the hierarchical engine caches loads under
+// the SDependents invalidation rule, so warm sweeps skip the
+// per-node fanout scan. Bit-identical to forwardNode when the cached
+// load equals the recomputed one (delay.Model.GateMVLoaded).
+func forwardNodeLoaded(r *Result, m *delay.Model, S []float64, id netlist.NodeID, withTape bool, load float64) {
+	nd := &m.G.C.Nodes[id]
+	if nd.Kind == netlist.KindInput {
+		r.Arrival[id] = m.Arrival[id]
+		return
+	}
+	forwardGate(r, m, nd, id, m.GateMVLoaded(id, S, load), withTape)
+}
+
+// forwardGate is the shared gate body of the forward sweep: the fanin
+// max fold (taped or not) plus the delay add, with the gate delay
+// moments t already evaluated.
+func forwardGate(r *Result, m *delay.Model, nd *netlist.Node, id netlist.NodeID, t stats.MV, withTape bool) {
 	// U = max over fanin arrivals, folded two at a time
 	// (paper eq 18b); each operand is shifted by its pin's
 	// additive delay (eq 1's per-pin t_i). Constant shifts leave
@@ -81,7 +102,6 @@ func forwardNode(r *Result, m *delay.Model, S []float64, id netlist.NodeID, with
 		}
 	}
 	// T = U + t (paper eq 18c), with t from the sizable model.
-	t := m.GateMV(id, S)
 	r.GateDelay[id] = t
 	r.Arrival[id] = stats.Add(u, t)
 }
@@ -159,13 +179,22 @@ func (r *Result) backwardNode(m *delay.Model, S []float64, id netlist.NodeID, ad
 	if am == 0 && av == 0 {
 		return
 	}
+	r.backwardNodeActive(m, S, id, m.Load(id, S), am, av, adjMu, adjVar, grad, dmu)
+}
+
+// backwardNodeActive is backwardNode's body past the zero-adjoint
+// skip, with the gate's capacitive load supplied by the caller. The
+// flat sweeps recompute it (above); the hierarchical engine passes
+// its cached load — bitwise the same value — so warm adjoint sweeps
+// skip the fanout scan inside the gradient accumulation.
+func (r *Result) backwardNodeActive(m *delay.Model, S []float64, id netlist.NodeID, load, am, av float64, adjMu, adjVar, grad, dmu []float64) {
 	// T = U + t: both summands inherit the adjoint unchanged.
 	// Gate delay: var_t = Sigma.Var(mu_t), so the variance
 	// adjoint folds into the mean-delay adjoint...
 	muT := r.GateDelay[id].Mu
 	d := am + av*m.Sigma.DVar(muT)
 	dmu[id] = d
-	m.GateMuGrad(id, S, d, grad)
+	m.GateMuGradLoaded(id, S, load, d, grad)
 
 	// U side: unfold the fanin max in reverse.
 	fanin := m.G.C.Nodes[id].Fanin
@@ -192,9 +221,10 @@ type adjointScratch struct {
 	// adjoint (the statistical criticality under a (1, 0) seed).
 	adjMu, adjVar, grad, dmu []float64
 	// cMu/cVar are the per-fanin-pin contribution slots of the
-	// parallel apply phase, laid out flat with per-node offsets off.
+	// parallel apply phase, laid out flat with the graph's memoized
+	// FaninOff offsets (computed once in netlist.Compile — the scratch
+	// must not re-derive the O(V+E) edge bookkeeping per sweep).
 	cMu, cVar []float64
-	off       []int
 }
 
 // ensure sizes and zeroes the scratch for graph g; the parallel slots
@@ -215,15 +245,9 @@ func (sc *adjointScratch) ensure(g *netlist.Graph, parallel bool) {
 	if !parallel {
 		return
 	}
-	if len(sc.off) != n {
-		sc.off = make([]int, n)
-		total := 0
-		for i := range g.C.Nodes {
-			sc.off[i] = total
-			total += len(g.C.Nodes[i].Fanin)
-		}
-		sc.cMu = make([]float64, total)
-		sc.cVar = make([]float64, total)
+	if len(sc.cMu) != g.Edges {
+		sc.cMu = make([]float64, g.Edges)
+		sc.cVar = make([]float64, g.Edges)
 	}
 	// cMu/cVar need no zeroing: the apply phase reads exactly the
 	// slots the compute phase just wrote.
@@ -255,7 +279,7 @@ func (r *Result) backwardInto(m *delay.Model, S []float64, seedMu, seedVar float
 		return sc.grad
 	}
 	adjMu, adjVar, dmu := sc.adjMu, sc.adjVar, sc.dmu
-	cMu, cVar, off := sc.cMu, sc.cVar, sc.off
+	cMu, cVar, off := sc.cMu, sc.cVar, g.FaninOff
 	for l := len(g.Levels) - 1; l >= 1; l-- {
 		bucket := g.Levels[l]
 		// Compute phase: pure reads of finalized adjoints and the

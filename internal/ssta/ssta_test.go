@@ -9,7 +9,7 @@ import (
 	"repro/internal/stats"
 )
 
-func close(a, b, tol float64) bool {
+func approxEq(a, b, tol float64) bool {
 	if a == b {
 		return true
 	}
@@ -36,10 +36,10 @@ func TestAnalyzeChainIsSumOfDelays(t *testing.T) {
 		wantMu += mv.Mu
 		wantVar += mv.Var
 	}
-	if !close(r.Tmax.Mu, wantMu, 1e-12) {
+	if !approxEq(r.Tmax.Mu, wantMu, 1e-12) {
 		t.Errorf("chain mu = %v, want %v", r.Tmax.Mu, wantMu)
 	}
-	if !close(r.Tmax.Var, wantVar, 1e-12) {
+	if !approxEq(r.Tmax.Var, wantVar, 1e-12) {
 		t.Errorf("chain var = %v, want %v", r.Tmax.Var, wantVar)
 	}
 }
@@ -60,10 +60,10 @@ func TestAnalyzeTreeMatchesManualFold(t *testing.T) {
 	tG := m.GateMV(c.MustID("G"), S)
 	TG := stats.Add(uG, tG)
 
-	if !close(r.Tmax.Mu, TG.Mu, 1e-12) || !close(r.Tmax.Var, TG.Var, 1e-12) {
+	if !approxEq(r.Tmax.Mu, TG.Mu, 1e-12) || !approxEq(r.Tmax.Var, TG.Var, 1e-12) {
 		t.Errorf("tree Tmax = %+v, manual %+v", r.Tmax, TG)
 	}
-	if !close(r.Arrival[c.MustID("C")].Mu, TC.Mu, 1e-12) {
+	if !approxEq(r.Arrival[c.MustID("C")].Mu, TC.Mu, 1e-12) {
 		t.Errorf("arrival(C) = %+v, manual %+v", r.Arrival[c.MustID("C")], TC)
 	}
 }
@@ -100,7 +100,7 @@ func TestZeroSigmaMatchesDeterministic(t *testing.T) {
 	S := m.UnitSizes()
 	stat := Analyze(m, S, false)
 	det := DetAnalyze(m, S)
-	if !close(stat.Tmax.Mu, det.Tmax, 1e-9) {
+	if !approxEq(stat.Tmax.Mu, det.Tmax, 1e-9) {
 		t.Errorf("zero-sigma statistical %v vs deterministic %v", stat.Tmax.Mu, det.Tmax)
 	}
 	if stat.Tmax.Var > 1e-12 {
@@ -116,10 +116,10 @@ func TestInputArrivalsRespected(t *testing.T) {
 	S := m.UnitSizes()
 	r := Analyze(m, S, false)
 	gd := m.GateMV(g.C.GateIDs()[0], S)
-	if !close(r.Tmax.Mu, 5+gd.Mu, 1e-12) {
+	if !approxEq(r.Tmax.Mu, 5+gd.Mu, 1e-12) {
 		t.Errorf("Tmax.Mu = %v", r.Tmax.Mu)
 	}
-	if !close(r.Tmax.Var, 0.04+gd.Var, 1e-12) {
+	if !approxEq(r.Tmax.Var, 0.04+gd.Var, 1e-12) {
 		t.Errorf("Tmax.Var = %v", r.Tmax.Var)
 	}
 }
@@ -168,7 +168,7 @@ func TestBackwardGradientAgainstFD(t *testing.T) {
 			for i := 0; i < len(ids); i += step {
 				id := ids[i]
 				fd := gradFD(m, S, k, id)
-				if !close(grad[id], fd, 2e-4) {
+				if !approxEq(grad[id], fd, 2e-4) {
 					t.Errorf("%s k=%v d/dS[%s]: adjoint %v, FD %v",
 						c.Name, k, c.Nodes[id].Name, grad[id], fd)
 				}
@@ -192,10 +192,10 @@ func TestBackwardRequiresTape(t *testing.T) {
 func TestObjectiveMuPlusKSigma(t *testing.T) {
 	mv := stats.MV{Mu: 10, Var: 4}
 	phi, sMu, sVar := ObjectiveMuPlusKSigma(mv, 3)
-	if !close(phi, 16, 1e-12) {
+	if !approxEq(phi, 16, 1e-12) {
 		t.Errorf("phi = %v", phi)
 	}
-	if sMu != 1 || !close(sVar, 3.0/(2*2), 1e-12) {
+	if sMu != 1 || !approxEq(sVar, 3.0/(2*2), 1e-12) {
 		t.Errorf("seeds = %v %v", sMu, sVar)
 	}
 	// k = 0 short-circuits.
@@ -216,7 +216,7 @@ func TestCriticalityTree(t *testing.T) {
 	crit := Criticality(m, S)
 	c := m.G.C
 	// The output gate is fully critical.
-	if g := crit[c.MustID("G")]; !close(g, 1, 1e-9) {
+	if g := crit[c.MustID("G")]; !approxEq(g, 1, 1e-9) {
 		t.Errorf("crit(G) = %v", g)
 	}
 	// Symmetric gates share criticality. Note the split is not an
@@ -224,11 +224,11 @@ func TestCriticalityTree(t *testing.T) {
 	// (larger mu_t -> larger var_t -> larger downstream max mean), so
 	// sibling criticalities sum to slightly more than the parent's.
 	cC, cF := crit[c.MustID("C")], crit[c.MustID("F")]
-	if !close(cC, cF, 1e-9) {
+	if !approxEq(cC, cF, 1e-9) {
 		t.Errorf("crit(C,F) differ: %v %v", cC, cF)
 	}
 	cA, cB := crit[c.MustID("A")], crit[c.MustID("B")]
-	if !close(cA, cB, 1e-9) {
+	if !approxEq(cA, cB, 1e-9) {
 		t.Errorf("crit(A,B) differ: %v %v", cA, cB)
 	}
 	// Criticality grows toward the output.
@@ -255,7 +255,7 @@ func TestCriticalityMatchesBackwardSeed(t *testing.T) {
 		fd := (up - dn) / (2 * h)
 		// The sigma model couples var_t to mu_t, so the FD includes
 		// d var/d mu effects exactly as Criticality does.
-		if !close(crit[id], fd, 1e-4) {
+		if !approxEq(crit[id], fd, 1e-4) {
 			t.Errorf("crit(%s) = %v, FD %v", g.C.Nodes[id].Name, crit[id], fd)
 		}
 	}
@@ -270,7 +270,7 @@ func TestDetAnalyzeChain(t *testing.T) {
 	for _, id := range g.C.GateIDs() {
 		want += m.GateMu(id, S)
 	}
-	if !close(r.Tmax, want, 1e-12) {
+	if !approxEq(r.Tmax, want, 1e-12) {
 		t.Errorf("det chain = %v, want %v", r.Tmax, want)
 	}
 	path := r.CriticalPath(m)
