@@ -39,6 +39,8 @@ func main() {
 		blocksFlag  = flag.Int("blocks", 0, "hierarchical verification pass with this block-size target (0 = off): partition the DAG, re-run the sweep block-parallel and check bit-identity")
 		traceFile   = flag.String("trace", "", "write a JSONL analysis trace to this file (byte-identical for every -j)")
 		metricsFlag = flag.Bool("metrics", false, "print the telemetry metrics summary table after the run")
+		serveFlag   = flag.String("serve", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. localhost:9090); implies metrics collection")
+		spansFile   = flag.String("spans", "", "write the wall-clock span tree as JSONL to this file after the run (tracetool -spans reads it)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -63,7 +65,7 @@ func main() {
 		sinks = append(sinks, trace)
 	}
 	var metrics *telemetry.Metrics
-	if *metricsFlag || *pprofAddr != "" {
+	if *metricsFlag || *pprofAddr != "" || *serveFlag != "" || *spansFile != "" {
 		metrics = telemetry.NewMetrics()
 		metrics.Publish("ssta")
 		sinks = append(sinks, metrics)
@@ -75,6 +77,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "ssta: debug server at http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
+	}
+	if *serveFlag != "" {
+		addr, err := telemetry.Serve(*serveFlag, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ssta: observability server at http://%s/metrics (pprof at /debug/pprof/, expvar at /debug/vars)\n", addr)
 	}
 	var stopCPU func() error
 	if *cpuProfile != "" {
@@ -236,6 +245,11 @@ func main() {
 	if *metricsFlag {
 		fmt.Println("metrics:")
 		if err := metrics.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *spansFile != "" {
+		if err := metrics.SpanTree().WriteFile(*spansFile); err != nil {
 			fatal(err)
 		}
 	}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestLoadCircuitBuiltins pins the built-in circuit table.
+func TestLoadCircuitBuiltins(t *testing.T) {
+	for _, name := range []string{"tree7", "fig2", "apex1", "apex2", "k2"} {
+		c, lib, err := loadCircuit(name)
+		if err != nil {
+			t.Fatalf("loadCircuit(%q): %v", name, err)
+		}
+		if c == nil || lib == nil {
+			t.Fatalf("loadCircuit(%q) returned nil circuit or library", name)
+		}
+	}
+	if _, _, err := loadCircuit("no-such-circuit"); err == nil {
+		t.Fatal("loadCircuit on a missing file did not error")
+	}
+}
+
+// TestTraceFlagCreatesParentDirs pins the -trace behavior this CLI
+// relies on: pointing -trace (or -spans) into a directory that does
+// not exist yet must create the parents instead of failing the run.
+func TestTraceFlagCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs", "nested", "trace.jsonl")
+	w, err := telemetry.CreateTrace(path)
+	if err != nil {
+		t.Fatalf("CreateTrace into missing directory: %v", err)
+	}
+	w.Event("smoke", "test")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+}

@@ -47,6 +47,9 @@ func main() {
 		blocksFlag    = flag.Int("blocks", 0, "verify the final sizes through the hierarchical block-parallel engine with this block-size target (0 = off)")
 		traceFile     = flag.String("trace", "", "write a JSONL solver trace to this file (byte-identical for every -j)")
 		metricsFlag   = flag.Bool("metrics", false, "print the telemetry metrics summary table after the run")
+		serveFlag     = flag.String("serve", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. localhost:9090); implies metrics collection")
+		spansFile     = flag.String("spans", "", "write the wall-clock span tree as JSONL to this file after the run (tracetool -spans reads it)")
+		watchdogFlag  = flag.Bool("watchdog", false, "monitor solver progress events and warn on stderr when the solve stalls")
 		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this file after the run")
@@ -72,18 +75,30 @@ func main() {
 		sinks = append(sinks, trace)
 	}
 	var metrics *telemetry.Metrics
-	if *metricsFlag || *pprofAddr != "" {
+	if *metricsFlag || *pprofAddr != "" || *serveFlag != "" || *spansFile != "" {
 		metrics = telemetry.NewMetrics()
 		metrics.Publish("statsize")
 		sinks = append(sinks, metrics)
 	}
 	rec := telemetry.Multi(sinks...)
+	var watchdog *telemetry.Watchdog
+	if *watchdogFlag {
+		watchdog = telemetry.NewWatchdog(rec, telemetry.WatchdogOptions{})
+		rec = watchdog
+	}
 	if *pprofAddr != "" {
 		addr, err := telemetry.ServeDebug(*pprofAddr)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "statsize: debug server at http://%s/debug/pprof/ (expvar at /debug/vars)\n", addr)
+	}
+	if *serveFlag != "" {
+		addr, err := telemetry.Serve(*serveFlag, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "statsize: observability server at http://%s/metrics (pprof at /debug/pprof/, expvar at /debug/vars)\n", addr)
 	}
 	var stopCPU func() error
 	if *cpuProfile != "" {
@@ -172,6 +187,18 @@ func main() {
 			fmt.Println("metrics:")
 			if err := metrics.WriteSummary(os.Stdout); err != nil {
 				fatal(err)
+			}
+		}
+		if *spansFile != "" {
+			if err := metrics.SpanTree().WriteFile(*spansFile); err != nil {
+				fatal(err)
+			}
+		}
+		if watchdog != nil {
+			for _, s := range watchdog.Stalls() {
+				fmt.Fprintf(os.Stderr,
+					"statsize: watchdog: %s progress stalled at iteration %d (best %.6g, last %.6g, %d non-improving iterations)\n",
+					s.Scope, s.Iter, s.Best, s.Last, s.Streak)
 			}
 		}
 		if stopCPU != nil {

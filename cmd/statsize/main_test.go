@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/sizing"
+	"repro/internal/telemetry"
 )
 
 func TestParseObjective(t *testing.T) {
@@ -73,5 +76,27 @@ func TestLoadCircuitBuiltins(t *testing.T) {
 	}
 	if _, _, err := loadCircuit("/no/such/file.ckt"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestTraceFlagCreatesParentDirs pins the -trace behavior this CLI
+// relies on: pointing -trace (or -spans) into a directory that does
+// not exist yet must create the parents instead of failing the run.
+func TestTraceFlagCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs", "2026-08-07", "trace.jsonl")
+	w, err := telemetry.CreateTrace(path)
+	if err != nil {
+		t.Fatalf("CreateTrace into missing directory: %v", err)
+	}
+	w.Event("smoke", "test")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	spans := filepath.Join(t.TempDir(), "deep", "spans.jsonl")
+	if err := telemetry.NewTree().WriteFile(spans); err != nil {
+		t.Fatalf("WriteFile into missing directory: %v", err)
 	}
 }

@@ -137,10 +137,13 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 	// runShard draws shard i's block of samples into shards[i] using
 	// the caller's per-worker scratch slabs. With a recorder attached
 	// each block's busy time folds into the "mc.shard" span (workers
-	// record concurrently; the metrics cells are atomic).
-	runShard := func(sc *mcScratch, i int) {
+	// record concurrently; the metrics cells are atomic) and into the
+	// worker's own scope stack under the mc.run tree node.
+	runShard := func(sc *mcScratch, st *telemetry.Stack, i int) {
 		t0 := telemetry.StartSpan(rec)
 		defer telemetry.EndSpan(rec, "mc.shard", t0)
+		st.Push("mc.shard")
+		defer st.Pop()
 		rng := rand.New(rand.NewSource(shardSeed(opt.Seed, i)))
 		count := min(shardSamples, opt.Samples-i*shardSamples)
 		sm := &shards[i]
@@ -197,11 +200,12 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 	}
 	if workers == 1 {
 		sc := newMCScratch(n, K)
+		st := telemetry.StackAt(rec, "mc.run")
 		for i := range shards {
 			if cancelled(done) {
 				return nil, ctx.Err()
 			}
-			runShard(sc, i)
+			runShard(sc, st, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -211,6 +215,7 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 			go func() {
 				defer wg.Done()
 				sc := newMCScratch(n, K)
+				st := telemetry.StackAt(rec, "mc.run")
 				for {
 					if cancelled(done) {
 						return
@@ -219,7 +224,7 @@ func RunCtx(ctx context.Context, m *delay.Model, S []float64, opt Options) (*Res
 					if i >= nShards {
 						return
 					}
-					runShard(sc, i)
+					runShard(sc, st, i)
 				}
 			}()
 		}

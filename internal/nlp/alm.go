@@ -266,6 +266,10 @@ type almState struct {
 	// outer iteration (1-based), tagged onto inner-solver events.
 	rec   telemetry.Recorder
 	outer int
+	// stack is the coordinating goroutine's span-tree scope stack
+	// (nil when rec has no tree sink): nlp.solve > alm.outer >
+	// nlp.inner phase attribution with self- vs cumulative-time split.
+	stack *telemetry.Stack
 	// finite reports whether the last merit evaluation produced only
 	// finite values (merit, element values, gradient); badElem is the
 	// serial index of the first offending element, -1 when none. Both
@@ -289,6 +293,7 @@ func newALMState(p *Problem, rho float64, workers int, rec telemetry.Recorder) *
 		cEq:     make([]float64, len(p.EqCons)),
 		cIneq:   make([]float64, len(p.IneqCons)),
 		rec:     rec,
+		stack:   telemetry.NewStack(rec),
 		finite:  true,
 		badElem: -1,
 	}
@@ -586,7 +591,13 @@ func SolveCtx(ctx context.Context, p *Problem, x0 []float64, opt Options) (*Resu
 	}
 
 	res.SetupTime = time.Since(t0)
+	// The scope stack brackets the whole solve; each outer iteration's
+	// scope closes at the top of the next (PopTo handles the body's
+	// continue/break exits uniformly).
+	st.stack.Push("nlp.solve")
 	for outer := outerStart; outer < opt.MaxOuter; outer++ {
+		st.stack.PopTo(1)
+		st.stack.Push("alm.outer")
 		if entry != nil {
 			captureEntry(outer)
 			if outer > outerStart && (outer-outerStart)%opt.CheckpointEvery == 0 {
@@ -605,7 +616,9 @@ func SolveCtx(ctx context.Context, p *Problem, x0 []float64, opt Options) (*Resu
 		}
 		tol := math.Max(omega, opt.TolGrad)
 		tInner := time.Now()
+		st.stack.Push("nlp.inner")
 		iters, pg := inner.minimize(x, tol)
+		st.stack.Pop()
 		res.InnerTime += time.Since(tInner)
 		res.Inner += iters
 		res.ProjGradNorm = pg
@@ -763,6 +776,8 @@ func SolveCtx(ctx context.Context, p *Problem, x0 []float64, opt Options) (*Resu
 		res.Status = MaxIterations
 	}
 
+	st.stack.PopTo(0) // close any open alm.outer scope and nlp.solve
+
 	if st.stopped && res.Status != NumericalFailure {
 		res.Status = Cancelled
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -804,6 +819,9 @@ func SolveCtx(ctx context.Context, p *Problem, x0 []float64, opt Options) (*Resu
 		st.eng.publish(rec)
 		rec.Span("nlp.solve", res.Duration)
 		rec.Span("nlp.inner", res.InnerTime)
+		if t := telemetry.TreeOf(rec); t != nil {
+			t.AddAt(res.SetupTime, 1, "nlp.solve", "setup")
+		}
 	}
 	return res, nil
 }

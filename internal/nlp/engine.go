@@ -296,9 +296,16 @@ func (e *engine) publish(rec telemetry.Recorder) {
 	rec.Count("engine.hessvec_evals", e.nDispatch[modeHessVec])
 	rec.Gauge("engine.elements", float64(len(e.refs)))
 	rec.Gauge("engine.chunks", float64(len(e.chunks)))
+	tree := telemetry.TreeOf(rec)
 	for m, ns := range e.modeNS {
 		if ns > 0 {
 			rec.Span("engine.dispatch."+modeNames[m], time.Duration(ns))
+			if tree != nil {
+				// Publish-time fold into the span tree: the engine
+				// aggregates its own per-mode dispatch wall time, so
+				// the hot path pays no per-dispatch scope work.
+				tree.AddAt(time.Duration(ns), e.nDispatch[m], "nlp.solve", "engine", modeNames[m])
+			}
 		}
 	}
 	for c, ns := range e.chunkNS {

@@ -112,6 +112,8 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 	S := m.UnitSizes()
 	res := &GreedyResult{}
 	rec := opt.Recorder
+	stack := telemetry.NewStack(rec)
+	stack.Push("greedy")
 	// The steady-state loop runs on the persistent incremental engine:
 	// each bump dirties only the gate and its fanin drivers, Update
 	// re-evaluates the changed cone, and the adjoint pass reuses the
@@ -125,13 +127,17 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 		if cancelled(done) {
 			break
 		}
+		stack.PopTo(1) // close the previous step's scope
+		stack.Push("greedy.step")
 		var phi float64
 		var grad []float64
+		stack.Push("greedy.grad")
 		if inc != nil {
 			phi, grad = inc.GradMuPlusKSigma(opt.K)
 		} else {
 			phi, grad = ssta.GradMuPlusKSigmaWorkersRec(m, S, opt.K, opt.Workers, rec)
 		}
+		stack.Pop()
 		if rec != nil {
 			rec.Event("greedy", "step",
 				telemetry.I("step", res.Steps),
@@ -178,8 +184,11 @@ func SizeGreedyCtx(ctx context.Context, m *delay.Model, opt GreedyOptions) (*Gre
 			inc.SetSize(netlist.NodeID(best), S[best])
 		}
 	}
+	stack.PopTo(1)
+	stack.Push("greedy.finalize")
 	m.ClampSizes(S)
 	r := ssta.AnalyzeWorkers(m, S, false, opt.Workers)
+	stack.PopTo(0)
 	res.S = S
 	res.MuTmax = r.Tmax.Mu
 	res.SigmaTmax = r.Tmax.Sigma()

@@ -118,3 +118,72 @@ func TestGreedyTraceDeterministic(t *testing.T) {
 		t.Errorf("last event is %s.%s, want greedy.result", last.Scope, last.Name)
 	}
 }
+
+// TestTraceDeterministicWithObservabilityChain is the PR's central
+// acceptance check: with the FULL observability chain attached —
+// watchdog middleware in front of a trace writer, a metrics sink with
+// span trees aggregating, and the solver's scope stacks pushing — the
+// JSONL trace stays byte-identical between workers=1 and workers=4.
+// Wall-clock data flows only into the metrics sinks; the event stream
+// never sees it.
+func TestTraceDeterministicWithObservabilityChain(t *testing.T) {
+	run := func(workers int) []byte {
+		m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+		var buf bytes.Buffer
+		w := telemetry.NewTraceWriter(&buf)
+		metrics := telemetry.NewMetrics()
+		rec := telemetry.NewWatchdog(telemetry.Multi(w, metrics), telemetry.WatchdogOptions{})
+		spec := Spec{
+			Objective:   MinArea(),
+			Constraints: []Constraint{DelayLE(3, 8)},
+			Formulation: Reduced,
+			Solver:      nlp.Options{Method: nlp.LBFGS},
+			Workers:     workers,
+			Recorder:    rec,
+		}
+		if _, err := Size(m, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if metrics.SpanTree().Empty() {
+			t.Fatal("span tree stayed empty: solver scope stacks not wired")
+		}
+		return buf.Bytes()
+	}
+	serial, parallel := run(1), run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trace differs between workers=1 and workers=4 with observability chain:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+}
+
+// TestWatchdogSilentOnTree7 pins the no-false-positive side of the
+// solve-health watchdog: a healthy converging solve (and the greedy
+// baseline) must not raise solve.stalled.
+func TestWatchdogSilentOnTree7(t *testing.T) {
+	m := delay.MustBind(netlist.MustCompile(netlist.Tree7()), delay.PaperTree())
+	wd := telemetry.NewWatchdog(telemetry.NewMetrics(), telemetry.WatchdogOptions{})
+	spec := Spec{
+		Objective:   MinArea(),
+		Constraints: []Constraint{DelayLE(3, 8)},
+		Formulation: Reduced,
+		Solver:      nlp.Options{Method: nlp.LBFGS},
+		Recorder:    wd,
+	}
+	if _, err := Size(m, spec); err != nil {
+		t.Fatal(err)
+	}
+	if wd.Stalled() {
+		t.Fatalf("watchdog fired on a healthy tree7 solve: %+v", wd.Stalls())
+	}
+
+	wd2 := telemetry.NewWatchdog(telemetry.NewMetrics(), telemetry.WatchdogOptions{})
+	if _, err := SizeGreedy(m, GreedyOptions{K: 3, Deadline: 8, Recorder: wd2}); err != nil {
+		t.Fatal(err)
+	}
+	if wd2.Stalled() {
+		t.Fatalf("watchdog fired on a healthy tree7 greedy run: %+v", wd2.Stalls())
+	}
+}

@@ -328,14 +328,26 @@ func (h *Hier) SetSize(id netlist.NodeID, s float64) {
 func (h *Hier) runBlocks(backward bool, eval func(int)) {
 	blocks := h.p.Blocks
 	nb := len(blocks)
+	// Per-worker scope stacks attribute each worker's busy time under
+	// the shared hier.sweep tree node (wall clock only; never in the
+	// event stream, so traces stay worker-count-invariant).
+	scope := "hier.block.fwd"
+	if backward {
+		scope = "hier.block.bwd"
+	}
 	if h.workers <= 1 || nb < 2 {
+		st := telemetry.StackAt(h.rec, "hier.sweep")
 		if backward {
 			for b := nb - 1; b >= 0; b-- {
+				st.Push(scope)
 				eval(b)
+				st.Pop()
 			}
 		} else {
 			for b := 0; b < nb; b++ {
+				st.Push(scope)
 				eval(b)
+				st.Pop()
 			}
 		}
 		return
@@ -356,8 +368,11 @@ func (h *Hier) runBlocks(backward bool, eval func(int)) {
 	var wg sync.WaitGroup
 	work := func() {
 		defer wg.Done()
+		st := telemetry.StackAt(h.rec, "hier.sweep")
 		for b := range ready {
+			st.Push(scope)
 			eval(int(b))
+			st.Pop()
 			succs := blocks[b].Fanout
 			if backward {
 				succs = blocks[b].Fanin

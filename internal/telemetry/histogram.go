@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style log-bucketed latency histogram: fixed
+// memory, lock-free, and allocation-free on the record path, with
+// ~3% relative resolution across the full nanosecond-to-hours range.
+//
+// Bucketing scheme. Durations are recorded in nanoseconds. Values
+// below 2^histSubBits land in exact unit buckets; above that, each
+// power of two is split into 2^histSubBits linear sub-buckets, so the
+// bucket index is
+//
+//	shift = max(0, msb(v) - histSubBits)
+//	index = shift<<histSubBits + (v>>shift) - [shift>0]*2^histSubBits
+//
+// which is monotone in v and bounds the relative error of a bucket's
+// upper edge by 2^-histSubBits. With histSubBits = 5 (32 sub-buckets
+// per octave) the whole int64 nanosecond range needs histBuckets =
+// 1920 counters — 15 KiB per histogram, paid once per span name.
+//
+// Quantiles use the nearest-rank convention on bucket upper edges, so
+// a reported p99 is an upper bound of the true p99 within the bucket
+// resolution; Max is tracked exactly.
+const (
+	histSubBits = 5
+	histSubHalf = 1 << histSubBits // first linear range and sub-buckets per octave
+	// 64-histSubBits possible shift values (0..58 used by positive
+	// int64 values) plus the linear range; sized to cover every
+	// int64 without bounds checks on the hot path.
+	histBuckets = (64 - histSubBits) * histSubHalf
+)
+
+// Histogram's zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// histIndex maps a nanosecond value to its bucket. Negative values
+// clamp to bucket 0.
+func histIndex(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	u := uint64(ns)
+	msb := bits.Len64(u) - 1 // position of the highest set bit
+	if msb < histSubBits {
+		return int(u)
+	}
+	shift := uint(msb - histSubBits)
+	return int(shift+1)<<histSubBits + int(u>>shift) - histSubHalf
+}
+
+// bucketUpperNS returns the largest nanosecond value mapping to
+// bucket idx — the bucket's inclusive upper edge.
+func bucketUpperNS(idx int) int64 {
+	block := idx >> histSubBits
+	pos := int64(idx & (histSubHalf - 1))
+	if block == 0 {
+		return pos
+	}
+	shift := uint(block - 1)
+	return (pos+histSubHalf+1)<<shift - 1
+}
+
+// Record folds one duration into the histogram. It is safe for
+// concurrent use and performs no allocations.
+func (h *Histogram) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.counts[histIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded durations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total recorded duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Max returns the largest recorded duration (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
+
+// Quantile returns an upper bound of the p-quantile (0 < p <= 1) of
+// the recorded durations, by nearest rank over the bucket upper
+// edges. An empty histogram and p = NaN return 0; p >= 1 returns the
+// exact max; p <= 0 returns the lower edge (the smallest recorded
+// bucket's upper bound).
+func (h *Histogram) Quantile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p >= 1 {
+		return h.Max()
+	}
+	rank := int64(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			ub := bucketUpperNS(i)
+			if max := h.maxNS.Load(); ub > max {
+				ub = max // the top bucket's edge can overshoot the data
+			}
+			return time.Duration(ub)
+		}
+	}
+	return h.Max()
+}
+
+// Buckets calls fn for every non-empty bucket in ascending order with
+// the bucket's inclusive upper edge and its count (not cumulative).
+// It is the iteration primitive behind the Prometheus exposition.
+func (h *Histogram) Buckets(fn func(upper time.Duration, count int64)) {
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			fn(time.Duration(bucketUpperNS(i)), c)
+		}
+	}
+}

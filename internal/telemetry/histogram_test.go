@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistIndexMonotone pins the bucketing scheme's two structural
+// invariants: the bucket index never decreases as the value grows, and
+// a value never lands in a bucket whose upper edge is below it.
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex(%d) = %d < previous index %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		if up := bucketUpperNS(idx); up < v {
+			t.Fatalf("bucketUpperNS(histIndex(%d)) = %d < value", v, up)
+		}
+		prev = idx
+	}
+	// Bucket upper edges ascend strictly.
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpperNS(i) <= bucketUpperNS(i-1) {
+			t.Fatalf("bucket edges not strictly increasing at %d: %d <= %d",
+				i, bucketUpperNS(i), bucketUpperNS(i-1))
+		}
+	}
+}
+
+// TestHistogramQuantile cross-checks the nearest-rank quantiles
+// against a sorted reference: the reported quantile must be the bucket
+// upper edge of the reference value at the same rank, which bounds the
+// relative error by one sub-bucket width (2^-5 ≈ 3%).
+func TestHistogramQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var ref []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6) // microsecond-scale spread
+		ref = append(ref, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	for _, p := range []float64{0.01, 0.5, 0.9, 0.99} {
+		// Nearest rank: the 1-based ceil(p*n)-th smallest value's
+		// bucket upper edge, clamped to the exact max.
+		rank := int(math.Ceil(p * float64(len(ref))))
+		want := bucketUpperNS(histIndex(ref[rank-1]))
+		if want > ref[len(ref)-1] {
+			want = ref[len(ref)-1]
+		}
+		if got := h.Quantile(p); got != time.Duration(want) {
+			t.Errorf("Quantile(%v) = %v, want bucket edge %v of reference value %d",
+				p, got, time.Duration(want), ref[rank-1])
+		}
+	}
+	if got, want := h.Quantile(1), time.Duration(ref[len(ref)-1]); got != want {
+		t.Errorf("Quantile(1) = %v, want exact maximum %v", got, want)
+	}
+	if got, want := h.Max(), time.Duration(ref[len(ref)-1]); got != want {
+		t.Errorf("Max = %v, want exact maximum %v", got, want)
+	}
+	if got := h.Count(); got != int64(len(ref)) {
+		t.Errorf("Count = %d, want %d", got, len(ref))
+	}
+	var sum int64
+	for _, v := range ref {
+		sum += v
+	}
+	if got := h.Sum(); got != time.Duration(sum) {
+		t.Errorf("Sum = %v, want %v", got, time.Duration(sum))
+	}
+}
+
+// TestHistogramEmpty pins the zero-value behavior.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("zero histogram not empty: count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile on empty histogram = %v, want 0", q)
+	}
+}
+
+// TestHistogramRecordAllocationFree pins the hot path at zero
+// allocations — the contract that lets spans and tree pops run inside
+// solver loops.
+func TestHistogramRecordAllocationFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Histogram.Record allocates %v times per call, want 0", n)
+	}
+}

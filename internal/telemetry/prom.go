@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	rtm "runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition of a Metrics snapshot, plus the opt-in
+// HTTP server that mounts it next to the expvar and pprof debug
+// endpoints, and a background runtime/metrics sampler feeding process
+// health gauges — the scrape surface a long-running sizing service
+// needs.
+//
+// Mapping:
+//
+//   - counters  -> "<name>_total" counter families
+//   - gauges    -> "<name>" gauge families
+//   - spans     -> one histogram family "span_duration_seconds" with a
+//     span="<name>" label: cumulative le buckets from the HDR
+//     histogram's non-empty buckets plus +Inf, _sum and _count, so
+//     p50/p99 are derivable with histogram_quantile()
+//   - span tree -> "span_tree_seconds_total"/"span_tree_self_seconds_total"/
+//     "span_tree_count_total" families labelled path="<a/b/c>"
+//
+// Metric names are sanitized to the Prometheus charset ([a-zA-Z0-9_:],
+// '.' and every other byte become '_'); span and path labels keep the
+// original dotted/slashed names. Families and series render in sorted
+// order, so the exposition of a fixed snapshot is deterministic
+// (pinned by a golden-file test).
+
+// promName sanitizes a metric name to the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float in the exposition's canonical form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeconds renders a duration as seconds.
+func promSeconds(d time.Duration) string {
+	return promFloat(d.Seconds())
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format
+// (version 0.0.4). The output for a fixed snapshot is deterministic:
+// families and series are sorted, bucket edges ascend.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	m.mu.Lock()
+	counterNames := sortedKeys(m.counters)
+	counterVals := make([]int64, len(counterNames))
+	for i, name := range counterNames {
+		counterVals[i] = m.counters[name].Value()
+	}
+	gaugeNames := sortedKeys(m.gauges)
+	gaugeVals := make([]float64, len(gaugeNames))
+	for i, name := range gaugeNames {
+		gaugeVals[i] = m.gauges[name].Value()
+	}
+	spanNames := sortedKeys(m.spans)
+	spanCells := make([]*spanVar, len(spanNames))
+	for i, name := range spanNames {
+		spanCells[i] = m.spans[name]
+	}
+	tree := m.tree
+	m.mu.Unlock()
+
+	for i, name := range counterNames {
+		pn := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, counterVals[i])
+	}
+	for i, name := range gaugeNames {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gaugeVals[i]))
+	}
+
+	if len(spanNames) > 0 {
+		fmt.Fprintf(bw, "# TYPE span_duration_seconds histogram\n")
+		for i, name := range spanNames {
+			s := spanCells[i]
+			var cum int64
+			s.h.Buckets(func(upper time.Duration, count int64) {
+				cum += count
+				fmt.Fprintf(bw, "span_duration_seconds_bucket{span=%q,le=%q} %d\n",
+					name, promSeconds(upper), cum)
+			})
+			fmt.Fprintf(bw, "span_duration_seconds_bucket{span=%q,le=\"+Inf\"} %d\n",
+				name, s.h.Count())
+			fmt.Fprintf(bw, "span_duration_seconds_sum{span=%q} %s\n",
+				name, promSeconds(s.h.Sum()))
+			fmt.Fprintf(bw, "span_duration_seconds_count{span=%q} %d\n",
+				name, s.h.Count())
+		}
+	}
+
+	if tree != nil && !tree.Empty() {
+		type row struct {
+			path      string
+			n         int64
+			cum, self time.Duration
+		}
+		var rows []row
+		tree.Walk(func(n *TreeNode, _ int) {
+			rows = append(rows, row{n.Path(), n.Count(), n.Cum(), n.Self()})
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+		fmt.Fprintf(bw, "# TYPE span_tree_seconds_total counter\n")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "span_tree_seconds_total{path=%q} %s\n", r.path, promSeconds(r.cum))
+		}
+		fmt.Fprintf(bw, "# TYPE span_tree_self_seconds_total counter\n")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "span_tree_self_seconds_total{path=%q} %s\n", r.path, promSeconds(r.self))
+		}
+		fmt.Fprintf(bw, "# TYPE span_tree_count_total counter\n")
+		for _, r := range rows {
+			fmt.Fprintf(bw, "span_tree_count_total{path=%q} %d\n", r.path, r.n)
+		}
+	}
+
+	return bw.Flush()
+}
+
+// runtimeSamples is the runtime/metrics set the sampler publishes.
+var runtimeSamples = []struct {
+	name  string // runtime/metrics key
+	gauge string // Metrics gauge name
+}{
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_bytes"},
+	{"/memory/classes/total:bytes", "runtime.total_bytes"},
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles"},
+	{"/gc/pauses:seconds", "runtime.gc_pause_max_seconds"},
+}
+
+// SampleRuntime reads the runtime/metrics set once into m's gauges:
+// heap and total memory, goroutine count, GC cycles, and the largest
+// observed GC pause.
+func SampleRuntime(m *Metrics) {
+	samples := make([]rtm.Sample, len(runtimeSamples))
+	for i, s := range runtimeSamples {
+		samples[i].Name = s.name
+	}
+	rtm.Read(samples)
+	for i, s := range runtimeSamples {
+		switch samples[i].Value.Kind() {
+		case rtm.KindUint64:
+			m.Gauge(s.gauge, float64(samples[i].Value.Uint64()))
+		case rtm.KindFloat64:
+			m.Gauge(s.gauge, samples[i].Value.Float64())
+		case rtm.KindFloat64Histogram:
+			// Publish the upper edge of the highest non-empty bucket —
+			// for /gc/pauses:seconds, the worst pause seen.
+			h := samples[i].Value.Float64Histogram()
+			max := 0.0
+			for b := len(h.Counts) - 1; b >= 0; b-- {
+				if h.Counts[b] > 0 {
+					// Buckets[b+1] is the bucket's upper edge; the last
+					// bucket's edge can be +Inf, fall back to its lower.
+					edge := h.Buckets[b+1]
+					if math.IsInf(edge, 1) {
+						edge = h.Buckets[b]
+					}
+					max = edge
+					break
+				}
+			}
+			m.Gauge(s.gauge, max)
+		}
+	}
+}
+
+// StartRuntimeSampler samples the runtime into m immediately and then
+// every interval until stop is called. interval <= 0 defaults to 2s.
+func StartRuntimeSampler(m *Metrics, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	SampleRuntime(m)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				SampleRuntime(m)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// Serve starts the observability HTTP server on addr: Prometheus
+// exposition at /metrics, the expvar snapshot at /debug/vars, and the
+// standard pprof endpoints under /debug/pprof/, all on one private
+// mux (importing this package never mutates global HTTP state). It
+// also starts the background runtime sampler feeding m's runtime.*
+// gauges. Binding is synchronous — a bad address errors immediately —
+// then the server runs in a background goroutine for the life of the
+// process. It returns the bound address (useful with ":0").
+func Serve(addr string, m *Metrics) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: serve: %w", err)
+	}
+	StartRuntimeSampler(m, 0)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		SampleRuntime(m) // scrape-coherent runtime gauges
+		m.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

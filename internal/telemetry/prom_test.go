@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promFixture builds a Metrics snapshot whose exposition is fully
+// deterministic: counters, gauges, explicitly recorded span durations
+// and AddAt tree nodes — no wall clock anywhere.
+func promFixture() *Metrics {
+	m := NewMetrics()
+	m.Count("engine.grad_evals", 42)
+	m.Count("mc.samples", 100000)
+	m.Gauge("ssta.levels", 18)
+	m.Span("nlp.solve", 150*time.Millisecond)
+	m.Span("nlp.solve", 250*time.Millisecond)
+	m.Span("ssta.forward", 750*time.Microsecond)
+	m.SpanTree().AddAt(400*time.Millisecond, 1, "nlp.solve")
+	m.SpanTree().AddAt(380*time.Millisecond, 2, "nlp.solve", "alm.outer")
+	return m
+}
+
+// TestWritePromGolden pins the exposition byte for byte.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promFixture().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s (re-run with -update to accept):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestWritePromDeterministic: two renders of the same snapshot are
+// identical (map iteration must not leak into the output).
+func TestWritePromDeterministic(t *testing.T) {
+	m := promFixture()
+	var a, b bytes.Buffer
+	if err := m.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of one snapshot differ")
+	}
+}
+
+// TestPromName pins the charset sanitization.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"engine.grad_evals": "engine_grad_evals",
+		"mc.samples":        "mc_samples",
+		"9lives":            "_9lives",
+		"a:b":               "a:b",
+		"sp ace":            "sp_ace",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSampleRuntime: the sampler publishes live process gauges.
+func TestSampleRuntime(t *testing.T) {
+	m := NewMetrics()
+	SampleRuntime(m)
+	if v := m.GaugeValue("runtime.goroutines"); v < 1 {
+		t.Errorf("runtime.goroutines = %v, want >= 1", v)
+	}
+	if v := m.GaugeValue("runtime.heap_bytes"); v <= 0 {
+		t.Errorf("runtime.heap_bytes = %v, want > 0", v)
+	}
+}
+
+// TestServe is the end-to-end scrape check: bind :0, GET /metrics and
+// /debug/vars, and confirm the exposition carries the solver metrics
+// and the runtime gauges.
+func TestServe(t *testing.T) {
+	m := promFixture()
+	addr, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (string, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ctype)
+	}
+	for _, want := range []string{
+		"engine_grad_evals_total 42",
+		"mc_samples_total 100000",
+		"ssta_levels 18",
+		"# TYPE span_duration_seconds histogram",
+		`span_duration_seconds_count{span="nlp.solve"} 2`,
+		`span_tree_seconds_total{path="nlp.solve/alm.outer"} 0.38`,
+		"runtime_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	vars, _ := get("/debug/vars")
+	if !strings.HasPrefix(strings.TrimSpace(vars), "{") {
+		t.Errorf("/debug/vars is not a JSON object:\n%.200s", vars)
+	}
+	if idx, _ := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", idx)
+	}
+}
+
+// TestServeBadAddr: binding errors surface synchronously.
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:99999", NewMetrics()); err == nil {
+		t.Fatal("Serve on a bad address did not error")
+	}
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStackSelfCum verifies the self/cumulative decomposition: a
+// parent's cumulative time covers its children, and its self time is
+// exactly the cumulative minus the children's cumulative.
+func TestStackSelfCum(t *testing.T) {
+	m := NewMetrics()
+	s := NewStack(m)
+	s.Push("solve")
+	s.Push("inner")
+	time.Sleep(time.Millisecond)
+	s.Pop()
+	s.Pop()
+
+	var solve, inner *TreeNode
+	m.SpanTree().Walk(func(n *TreeNode, _ int) {
+		switch n.Path() {
+		case "solve":
+			solve = n
+		case "solve/inner":
+			inner = n
+		}
+	})
+	if solve == nil || inner == nil {
+		t.Fatal("tree missing solve or solve/inner node")
+	}
+	if solve.Count() != 1 || inner.Count() != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", solve.Count(), inner.Count())
+	}
+	if solve.Cum() < inner.Cum() {
+		t.Fatalf("parent cum %v < child cum %v", solve.Cum(), inner.Cum())
+	}
+	if got, want := solve.Self(), solve.Cum()-inner.Cum(); got != want {
+		t.Fatalf("parent self = %v, want cum-child = %v", got, want)
+	}
+	if inner.Self() != inner.Cum() {
+		t.Fatalf("leaf self %v != cum %v", inner.Self(), inner.Cum())
+	}
+}
+
+// TestStackPopTo pins the loop-top idiom: PopTo closes exactly the
+// scopes above the given depth, wherever the loop body exited.
+func TestStackPopTo(t *testing.T) {
+	m := NewMetrics()
+	s := NewStack(m)
+	s.Push("root")
+	for i := 0; i < 3; i++ {
+		s.PopTo(1)
+		s.Push("iter")
+		if i == 1 {
+			s.Push("deep") // simulate an exit with an extra scope open
+		}
+	}
+	s.PopTo(0)
+	if d := s.Depth(); d != 0 {
+		t.Fatalf("depth after PopTo(0) = %d, want 0", d)
+	}
+	counts := map[string]int64{}
+	m.SpanTree().Walk(func(n *TreeNode, _ int) { counts[n.Path()] = n.Count() })
+	if counts["root"] != 1 || counts["root/iter"] != 3 || counts["root/iter/deep"] != 1 {
+		t.Fatalf("counts = %v, want root:1 root/iter:3 root/iter/deep:1", counts)
+	}
+}
+
+// TestStackAtRootsUnderPath verifies worker stacks attribute under the
+// coordinator's phase node.
+func TestStackAtRootsUnderPath(t *testing.T) {
+	m := NewMetrics()
+	s := StackAt(m, "mc.run")
+	s.Push("mc.shard")
+	s.Pop()
+	found := false
+	m.SpanTree().Walk(func(n *TreeNode, _ int) {
+		if n.Path() == "mc.run/mc.shard" && n.Count() == 1 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("mc.run/mc.shard node missing or count != 1")
+	}
+}
+
+// TestAddAt verifies publish-time attribution: intermediate nodes are
+// created, and the duration lands as self time at the leaf.
+func TestAddAt(t *testing.T) {
+	tree := NewTree()
+	tree.AddAt(10*time.Millisecond, 4, "solve", "engine", "grad")
+	var leaf *TreeNode
+	tree.Walk(func(n *TreeNode, _ int) {
+		if n.Path() == "solve/engine/grad" {
+			leaf = n
+		}
+	})
+	if leaf == nil {
+		t.Fatal("AddAt did not create solve/engine/grad")
+	}
+	if leaf.Count() != 4 || leaf.Cum() != 10*time.Millisecond || leaf.Self() != 10*time.Millisecond {
+		t.Fatalf("leaf = n:%d cum:%v self:%v, want 4/10ms/10ms", leaf.Count(), leaf.Cum(), leaf.Self())
+	}
+	// Empty AddAt path is a no-op, not a root mutation.
+	tree.AddAt(time.Second, 1)
+}
+
+// TestNilStackNoop pins the disabled path: a nil stack absorbs every
+// operation.
+func TestNilStackNoop(t *testing.T) {
+	var s *Stack
+	s.Push("x")
+	s.Pop()
+	s.PopTo(0)
+	if s.Depth() != 0 {
+		t.Fatal("nil stack depth != 0")
+	}
+	if NewStack(nil) != nil {
+		t.Fatal("NewStack(nil) != nil")
+	}
+	if StackAt(nil, "a") != nil {
+		t.Fatal("StackAt(nil) != nil")
+	}
+	if TreeOf(nil) != nil {
+		t.Fatal("TreeOf(nil) != nil")
+	}
+}
+
+// TestTreeHistogramNamespace pins the "tree/" prefix: tree scopes and
+// flat spans of the same name stay separate cells, so a stack rooted
+// at "nlp.solve" does not double-count the flat nlp.solve span.
+func TestTreeHistogramNamespace(t *testing.T) {
+	m := NewMetrics()
+	m.Span("solve", time.Millisecond)
+	s := NewStack(m)
+	s.Push("solve")
+	s.Pop()
+	if got, _ := m.SpanValue("solve"); got != 1 {
+		t.Fatalf("flat span count = %d after tree pop, want 1", got)
+	}
+	if got, _ := m.SpanValue("tree/solve"); got != 1 {
+		t.Fatalf("tree span cell count = %d, want 1", got)
+	}
+}
+
+// TestStackAllocationFree pins the hot path: once an edge exists,
+// push/pop allocate nothing (frames are preallocated, node lookup is a
+// lock-free map read, the histogram is fixed-size).
+func TestStackAllocationFree(t *testing.T) {
+	m := NewMetrics()
+	s := NewStack(m)
+	s.Push("a")
+	s.Push("b")
+	s.Pop()
+	s.Pop() // edges now exist
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Push("a")
+		s.Push("b")
+		s.Pop()
+		s.Pop()
+	}); n != 0 {
+		t.Fatalf("warm Push/Pop allocates %v times per run, want 0", n)
+	}
+	var nilStack *Stack
+	if n := testing.AllocsPerRun(1000, func() {
+		nilStack.Push("a")
+		nilStack.Pop()
+	}); n != 0 {
+		t.Fatalf("nil-stack Push/Pop allocates %v times per run, want 0", n)
+	}
+}
+
+// TestTreeWriteJSONL pins the sidecar format tracetool consumes.
+func TestTreeWriteJSONL(t *testing.T) {
+	tree := NewTree()
+	tree.AddAt(2*time.Millisecond, 1, "solve")
+	tree.AddAt(time.Millisecond, 3, "solve", "inner")
+	var sb strings.Builder
+	if err := tree.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"span\":\"solve\",\"count\":1,\"ns\":2000000,\"self_ns\":2000000}\n" +
+		"{\"span\":\"solve/inner\",\"count\":3,\"ns\":1000000,\"self_ns\":1000000}\n"
+	if sb.String() != want {
+		t.Fatalf("WriteJSONL =\n%s\nwant\n%s", sb.String(), want)
+	}
+}
+
+// TestTreeWriteFileCreatesParents mirrors CreateTrace: the -spans flag
+// must work into a directory that does not exist yet.
+func TestTreeWriteFileCreatesParents(t *testing.T) {
+	tree := NewTree()
+	tree.AddAt(time.Millisecond, 1, "a")
+	path := t.TempDir() + "/x/y/spans.jsonl"
+	if err := tree.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiForwardsSpanTree pins capability discovery through the
+// Multi combinator and the Watchdog middleware.
+func TestMultiForwardsSpanTree(t *testing.T) {
+	m := NewMetrics()
+	rec := Multi(NewTraceWriter(&strings.Builder{}), m)
+	if TreeOf(rec) != m.SpanTree() {
+		t.Fatal("Multi does not forward SpanTree to the metrics sink")
+	}
+	wd := NewWatchdog(rec, WatchdogOptions{})
+	if TreeOf(wd) != m.SpanTree() {
+		t.Fatal("Watchdog does not forward SpanTree")
+	}
+}

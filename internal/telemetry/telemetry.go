@@ -116,6 +116,19 @@ func (m multi) Span(name string, d time.Duration) {
 	}
 }
 
+// SpanTree forwards the TreeProvider capability to the first sink
+// that has one, so NewStack finds a Metrics sink through the fan-out.
+func (m multi) SpanTree() *Tree {
+	for _, r := range m {
+		if tp, ok := r.(TreeProvider); ok {
+			if t := tp.SpanTree(); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
 // Multi combines sinks into one Recorder, dropping nils. It returns
 // nil when no sink remains — callers can hand the result directly to
 // the nil-guarded instrumentation points — and the sink itself when

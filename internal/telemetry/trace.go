@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -41,9 +42,16 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	return &TraceWriter{w: bufio.NewWriter(w)}
 }
 
-// CreateTrace creates (truncating) the trace file at path; Close
-// flushes and closes it.
+// CreateTrace creates (truncating) the trace file at path, creating
+// missing parent directories, so a -trace flag pointing into a fresh
+// output directory works on the first event instead of surfacing a
+// bare open error; Close flushes and closes it.
 func CreateTrace(path string) (*TraceWriter, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace directory: %w", err)
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
