@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-inc bench-batch bench-hier bench-obsv test-batch test-hier test-obsv check trace faults
+.PHONY: build test vet race bench bench-inc bench-batch bench-hier bench-obsv bench-service test-batch test-hier test-obsv test-service smoke-service check trace faults
 
 build:
 	$(GO) build ./...
@@ -173,6 +173,33 @@ test-batch:
 	$(GO) test -race -timeout 5m \
 		-run 'Batch|KSweep|Corners|NonFinite|LaneWidth|QuantileMaxN|Scenario' \
 		./internal/ssta/ ./internal/montecarlo/ ./internal/stats/
+
+# test-service runs the sizing-as-a-service suite under the race
+# detector (the CI service job): admission control (429/503/409/413),
+# the journal's torn-tail replay, checkpoint durability (.bak
+# fallback), the supervision state machine (retry with ladder
+# step-down, watchdog, per-job deadlines, cancellation), and the chaos
+# acceptance tests — kill mid-solve with bit-identical recovery, drain
+# with zero accepted-job loss, restart over a torn journal.
+test-service:
+	$(GO) test -race -timeout 10m ./internal/service/ ./cmd/sizingd/ \
+		./internal/checkpoint/
+
+# smoke-service boots the daemon, pushes one job through the HTTP API
+# end to end and drains — the CI liveness check for cmd/sizingd.
+smoke-service:
+	$(GO) run ./cmd/sizingd -smoke
+
+# bench-service runs the chaos load harness — concurrent clients
+# submitting real solves over HTTP while the daemon is hard-killed and
+# restarted mid-run — and records throughput, submit→result latency
+# quantiles and the supervision counters into BENCH_service.json.
+# Every accepted job must reach a terminal state (kills included);
+# the harness fails otherwise.
+bench-service:
+	$(GO) run ./cmd/sizingd -loadtest -out BENCH_service.json \
+		-jobs 16 -clients 4 -kills 3
+	cat BENCH_service.json
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race

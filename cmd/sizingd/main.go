@@ -1,0 +1,242 @@
+// Command sizingd is the sizing-as-a-service daemon: an HTTP/JSON API
+// over the statistical gate-sizing stack with admission control,
+// per-job supervision (deadlines, checkpoints, watchdog, retry with
+// degradation-ladder step-down) and crash recovery from a journal of
+// accepted jobs.
+//
+//	sizingd -addr :8080 -state /var/lib/sizingd
+//
+// Submit a job and follow it:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"circuit":"tree7","objective":"mu+3sigma"}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//
+// SIGTERM/SIGINT drains: admission stops, running jobs get the drain
+// timeout to finish, stragglers are cancelled at a checkpoint
+// boundary and resume on the next start. SIGKILL loses nothing
+// either — accepted jobs are journaled before the 202 and recovered
+// at startup.
+//
+// Two auxiliary modes support CI:
+//
+//	sizingd -loadtest -out BENCH_service.json   chaos load harness
+//	sizingd -smoke                              boot, solve one job, drain
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		state         = flag.String("state", "sizingd-state", "state directory (journal + checkpoints)")
+		pool          = flag.Int("pool", 2, "concurrent solves")
+		queue         = flag.Int("queue", 16, "admission queue depth")
+		retries       = flag.Int("retries", 2, "NumericalFailure retries per job")
+		jobTimeout    = flag.Duration("job-timeout", 0, "per-job wall clock cap (0 = none)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		maxGates      = flag.Int("max-gates", 0, "reject circuits with more gates (0 = unlimited)")
+		cancelOnStall = flag.Int("cancel-on-stall", 0, "cancel a job after this many watchdog stalls (0 = record only)")
+		loadtest      = flag.Bool("loadtest", false, "run the chaos load harness instead of serving")
+		out           = flag.String("out", "BENCH_service.json", "loadtest report path")
+		jobs          = flag.Int("jobs", 12, "loadtest: total jobs")
+		clients       = flag.Int("clients", 3, "loadtest: concurrent clients")
+		kills         = flag.Int("kills", 2, "loadtest: kill/restart cycles")
+		smoke         = flag.Bool("smoke", false, "boot, run one job end to end, drain, exit")
+	)
+	flag.Parse()
+
+	if *loadtest {
+		os.Exit(runLoadTest(*out, *jobs, *clients, *kills, *pool, *queue))
+	}
+
+	opts := service.Options{
+		StateDir:      *state,
+		Pool:          *pool,
+		QueueDepth:    *queue,
+		MaxRetries:    *retries,
+		JobTimeout:    *jobTimeout,
+		DrainTimeout:  *drainTimeout,
+		MaxGates:      *maxGates,
+		CancelOnStall: *cancelOnStall,
+	}
+	if *smoke {
+		os.Exit(runSmoke(opts))
+	}
+	os.Exit(runDaemon(*addr, opts))
+}
+
+// runDaemon serves until a signal drains it.
+func runDaemon(addr string, opts service.Options) int {
+	srv, err := service.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd:", err)
+		return 1
+	}
+	// The daemon owns the process-wide expvar namespace; auxiliary
+	// modes and tests never publish (expvar panics on duplicates).
+	srv.Metrics().Publish("sizingd")
+	if rec := srv.Recovered(); len(rec) > 0 {
+		fmt.Printf("sizingd: recovered %d job(s) from journal: %v\n", len(rec), rec)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	srv.Start()
+	fmt.Printf("sizingd: serving on %s (state %s, pool %d, queue %d)\n",
+		ln.Addr(), opts.StateDir, opts.Pool, opts.QueueDepth)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Println("sizingd: signal received, draining")
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "sizingd:", err)
+		return 1
+	}
+
+	// Drain: stop admission, finish (or checkpoint) running jobs,
+	// close the journal. Queued jobs stay journaled and recover on the
+	// next start.
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(drainCtx)
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: drain:", err)
+		return 1
+	}
+	fmt.Println("sizingd: drained")
+	return 0
+}
+
+// runLoadTest runs the chaos load harness and writes the report.
+func runLoadTest(out string, jobs, clients, kills, pool, queue int) int {
+	rep, err := service.RunLoadTest(service.LoadTestOptions{
+		Jobs:       jobs,
+		Clients:    clients,
+		Kills:      kills,
+		Pool:       pool,
+		QueueDepth: queue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: loadtest:", err)
+		return 1
+	}
+	if err := service.WriteReport(out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: loadtest:", err)
+		return 1
+	}
+	fmt.Printf("sizingd: loadtest %d jobs, %d restarts, p50 %.0fms p99 %.0fms, %.1f jobs/s → %s\n",
+		rep.Config.Jobs, rep.Restarts, rep.LatencyMS.P50, rep.LatencyMS.P99, rep.Throughput, out)
+	return 0
+}
+
+// runSmoke boots the daemon on a loopback port, pushes one job end to
+// end through the HTTP API, drains and exits — the CI health check.
+func runSmoke(opts service.Options) int {
+	dir, err := os.MkdirTemp("", "sizingd-smoke-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: smoke:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	opts.StateDir = dir
+
+	srv, err := service.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: smoke:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: smoke:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	srv.Start()
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := smokeJob(ctx, base); err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: smoke:", err)
+		return 1
+	}
+	httpSrv.Shutdown(ctx)
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: smoke: drain:", err)
+		return 1
+	}
+	fmt.Println("sizingd: smoke ok")
+	return 0
+}
+
+// smokeJob submits one tree7 job and polls it to completion.
+func smokeJob(ctx context.Context, base string) error {
+	body := `{"id":"smoke","circuit":"tree7","objective":"mu+3sigma","max_outer":12}`
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/smoke", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed", "cancelled":
+			return errors.New("smoke job ended " + st.State)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/delay"
 	"repro/internal/montecarlo"
@@ -54,6 +56,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// SIGINT/SIGTERM cancel the analysis context: the ctx-aware sweeps
+	// and the Monte Carlo shards observe it at their level/shard
+	// boundaries and the run exits through the non-zero status line in
+	// deadline() instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var sinks []telemetry.Recorder
 	var trace *telemetry.TraceWriter
@@ -270,10 +278,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// deadline reports a -timeout expiry with its own exit code so scripts
-// can tell a budget overrun from a bad invocation.
+// deadline reports a -timeout expiry or an interrupt with its own exit
+// code so scripts can tell a cancelled analysis from a bad invocation.
 func deadline(err error) {
-	fmt.Fprintln(os.Stderr, "ssta: wall-clock budget exhausted:", err)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ssta: interrupted:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "ssta: wall-clock budget exhausted:", err)
+	}
 	os.Exit(2)
 }
 

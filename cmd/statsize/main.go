@@ -18,9 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/delay"
@@ -124,12 +125,12 @@ func main() {
 	m.Sigma = delay.Proportional{K: *sigmaK}
 
 	spec := sizing.Spec{Workers: *workers}
-	spec.Objective, err = parseObjective(*objectiveFlag)
+	spec.Objective, err = sizing.ParseObjective(*objectiveFlag)
 	if err != nil {
 		fatal(err)
 	}
 	for _, c := range constraints {
-		con, err := parseConstraint(c)
+		con, err := sizing.ParseConstraint(c)
 		if err != nil {
 			fatal(err)
 		}
@@ -166,6 +167,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// SIGINT/SIGTERM cancel the solve context instead of killing the
+	// process: the solver observes the cancellation at the next
+	// iteration boundary, flushes a final checkpoint when -checkpoint
+	// is set (the nlp cancellation path), and the run exits through the
+	// regular non-zero failed-status line below with the best-so-far
+	// sizing printed — an interrupt never loses the iterate.
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	unit := ssta.AnalyzeWorkersRec(m, m.UnitSizes(), false, *workers, rec).Tmax
 	fmt.Printf("circuit %s: %d gates, %d inputs, %d outputs\n",
@@ -368,65 +377,4 @@ func loadCircuit(name string) (*netlist.Circuit, *delay.Library, error) {
 		return nil, nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return c, delay.Default(), nil
-}
-
-// parseObjective maps the -objective flag to a sizing objective.
-func parseObjective(s string) (sizing.Objective, error) {
-	switch s {
-	case "mu":
-		return sizing.MinMu(), nil
-	case "area":
-		return sizing.MinArea(), nil
-	case "sigma":
-		return sizing.MinSigma(), nil
-	case "-sigma", "maxsigma":
-		return sizing.MaxSigma(), nil
-	}
-	if k, ok := parseKSigma(s); ok {
-		return sizing.MinMuPlusKSigma(k), nil
-	}
-	return sizing.Objective{}, fmt.Errorf("unknown objective %q", s)
-}
-
-// parseKSigma parses "mu+sigma", "mu+3sigma", "mu+2.5sigma".
-func parseKSigma(s string) (float64, bool) {
-	if !strings.HasPrefix(s, "mu+") || !strings.HasSuffix(s, "sigma") {
-		return 0, false
-	}
-	mid := strings.TrimSuffix(strings.TrimPrefix(s, "mu+"), "sigma")
-	if mid == "" {
-		return 1, true
-	}
-	k, err := strconv.ParseFloat(mid, 64)
-	if err != nil || k < 0 {
-		return 0, false
-	}
-	return k, true
-}
-
-// parseConstraint parses "mu<=120", "mu+3sigma<=120", "mu=6.5".
-func parseConstraint(s string) (sizing.Constraint, error) {
-	s = strings.ReplaceAll(s, " ", "")
-	if i := strings.Index(s, "<="); i >= 0 {
-		bound, err := strconv.ParseFloat(s[i+2:], 64)
-		if err != nil {
-			return sizing.Constraint{}, fmt.Errorf("bad bound in %q", s)
-		}
-		lhs := s[:i]
-		if lhs == "mu" {
-			return sizing.DelayLE(0, bound), nil
-		}
-		if k, ok := parseKSigma(lhs); ok {
-			return sizing.DelayLE(k, bound), nil
-		}
-		return sizing.Constraint{}, fmt.Errorf("bad constraint lhs %q", lhs)
-	}
-	if i := strings.Index(s, "="); i >= 0 && s[:i] == "mu" {
-		bound, err := strconv.ParseFloat(s[i+1:], 64)
-		if err != nil {
-			return sizing.Constraint{}, fmt.Errorf("bad bound in %q", s)
-		}
-		return sizing.MuEQ(bound), nil
-	}
-	return sizing.Constraint{}, fmt.Errorf("cannot parse constraint %q", s)
 }

@@ -21,18 +21,18 @@ func TestParseObjective(t *testing.T) {
 		"mu+2.5sigma": sizing.MinMuPlusKSigma(2.5),
 	}
 	for in, want := range cases {
-		got, err := parseObjective(in)
+		got, err := sizing.ParseObjective(in)
 		if err != nil {
-			t.Errorf("parseObjective(%q): %v", in, err)
+			t.Errorf("sizing.ParseObjective(%q): %v", in, err)
 			continue
 		}
 		if got != want {
-			t.Errorf("parseObjective(%q) = %+v, want %+v", in, got, want)
+			t.Errorf("sizing.ParseObjective(%q) = %+v, want %+v", in, got, want)
 		}
 	}
 	for _, bad := range []string{"", "frob", "mu+", "mu+xsigma", "mu+-1sigma", "sigma+mu"} {
-		if _, err := parseObjective(bad); err == nil {
-			t.Errorf("parseObjective(%q) accepted", bad)
+		if _, err := sizing.ParseObjective(bad); err == nil {
+			t.Errorf("sizing.ParseObjective(%q) accepted", bad)
 		}
 	}
 }
@@ -47,18 +47,18 @@ func TestParseConstraint(t *testing.T) {
 		"mu + 3sigma <= 1": sizing.DelayLE(3, 1),
 	}
 	for in, want := range cases {
-		got, err := parseConstraint(in)
+		got, err := sizing.ParseConstraint(in)
 		if err != nil {
-			t.Errorf("parseConstraint(%q): %v", in, err)
+			t.Errorf("sizing.ParseConstraint(%q): %v", in, err)
 			continue
 		}
 		if got != want {
-			t.Errorf("parseConstraint(%q) = %+v, want %+v", in, got, want)
+			t.Errorf("sizing.ParseConstraint(%q) = %+v, want %+v", in, got, want)
 		}
 	}
 	for _, bad := range []string{"", "mu", "mu<=x", "sigma<=2", "mu=x", "x=3", "mu>=2"} {
-		if _, err := parseConstraint(bad); err == nil {
-			t.Errorf("parseConstraint(%q) accepted", bad)
+		if _, err := sizing.ParseConstraint(bad); err == nil {
+			t.Errorf("sizing.ParseConstraint(%q) accepted", bad)
 		}
 	}
 }

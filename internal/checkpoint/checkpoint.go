@@ -6,9 +6,15 @@
 // whose data payload is owned by the writing package. The envelope
 // carries the two facts a resuming process must verify before trusting
 // a file written by an arbitrary earlier run: the schema version and
-// the producing subsystem. Writes are atomic (temp file in the target
-// directory, then rename), so a run killed mid-write never corrupts an
-// existing checkpoint.
+// the producing subsystem. Writes are atomic and durable: the payload
+// goes to a temp file in the target directory, is fsynced, and is then
+// renamed into place, so a run killed mid-write never corrupts an
+// existing checkpoint and a machine crash after Save returns cannot
+// lose the write. Each Save also preserves the previous good envelope
+// as path+".bak", and Load falls back to it when the primary fails
+// validation (truncated or corrupt JSON, or an incompatible envelope
+// version) — a kill between the backup link and the rename, or a torn
+// sector in the primary, still leaves one loadable boundary snapshot.
 //
 // JSON is the serialization deliberately: encoding/json emits float64
 // values in shortest round-trip form and parses them back exactly, so
@@ -47,9 +53,17 @@ type envelope struct {
 	Data    json.RawMessage `json:"data"`
 }
 
-// Save atomically writes payload under the given kind to path: the
-// envelope is marshalled to a temporary file in path's directory and
-// renamed into place, so readers never observe a torn write.
+// BackupPath returns the path of the previous-good-envelope backup
+// Save keeps alongside a checkpoint file.
+func BackupPath(path string) string { return path + ".bak" }
+
+// Save atomically and durably writes payload under the given kind to
+// path: the envelope is marshalled to a temporary file in path's
+// directory, fsynced, and renamed into place, so readers never observe
+// a torn write and the data survives a machine crash after Save
+// returns. An existing file at path is preserved as BackupPath(path)
+// before the rename, giving Load a fallback when the primary is later
+// found truncated or corrupt.
 func Save(path, kind string, payload any) error {
 	data, err := json.Marshal(payload)
 	if err != nil {
@@ -70,20 +84,77 @@ func Save(path, kind string, payload any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	// The temp file must be on disk before the rename publishes it: a
+	// rename is metadata-only, and a crash right after it would
+	// otherwise reveal an empty or partial "complete" checkpoint.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: fsync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	backup(path)
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	syncDir(dir)
 	return nil
 }
 
+// backup hard-links the current file at path to BackupPath(path),
+// falling back to a copy on filesystems without hard links. Best
+// effort: a missing primary (first Save) or a failed link only means
+// there is no fallback, never a failed Save.
+func backup(path string) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	bak := BackupPath(path)
+	os.Remove(bak)
+	if err := os.Link(path, bak); err == nil {
+		return
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		os.WriteFile(bak, data, 0o644)
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Best effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
 // Load reads the envelope at path, validates its version and kind, and
-// unmarshals the payload into payload.
+// unmarshals the payload into payload. A primary that fails validation
+// — unreadable, truncated or corrupt JSON, or an incompatible envelope
+// version — falls back to the BackupPath(path) envelope kept by Save,
+// so a crash that tears the newest checkpoint costs one boundary
+// snapshot, not the resume. A kind mismatch never falls back: it means
+// the caller is resuming the wrong subsystem's file, and the backup
+// would hold the same kind.
 func Load(path, kind string, payload any) error {
+	err := loadFile(path, kind, payload)
+	if err == nil || errors.Is(err, ErrKind) {
+		return err
+	}
+	if bakErr := loadFile(BackupPath(path), kind, payload); bakErr == nil {
+		return nil
+	}
+	return err
+}
+
+// loadFile reads and validates one envelope file.
+func loadFile(path, kind string, payload any) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)

@@ -76,8 +76,8 @@ func TestAtomicOverwriteLeavesNoTempFiles(t *testing.T) {
 			t.Fatalf("temp file left behind: %s", e.Name())
 		}
 	}
-	if len(entries) != 1 {
-		t.Fatalf("directory holds %d entries, want just the checkpoint", len(entries))
+	if len(entries) != 2 {
+		t.Fatalf("directory holds %d entries, want the checkpoint and its .bak", len(entries))
 	}
 	var out payload
 	if err := Load(path, "test.kind", &out); err != nil {
@@ -85,6 +85,102 @@ func TestAtomicOverwriteLeavesNoTempFiles(t *testing.T) {
 	}
 	if out.N != 2 {
 		t.Fatalf("latest write lost: N = %d, want 2", out.N)
+	}
+	// The backup always lags the primary by exactly one good envelope.
+	if err := loadFile(BackupPath(path), "test.kind", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 1 {
+		t.Fatalf("backup holds N = %d, want the previous write 1", out.N)
+	}
+}
+
+// TestBackupFallback covers the durability contract: when the primary
+// is truncated or corrupted after a successful Save, Load silently
+// falls back to the .bak of the previous good envelope instead of
+// failing the resume.
+func TestBackupFallback(t *testing.T) {
+	corruptions := map[string]string{
+		"truncated":   `{"version":1,"kind":"test.ki`,
+		"garbage":     "\x00\x00not json at all",
+		"empty":       "",
+		"bad-version": `{"version":999,"kind":"test.kind","data":{"n":9,"x":null}}`,
+		"bad-payload": `{"version":1,"kind":"test.kind","data":{"n":"not a number"}}`,
+	}
+	for name, body := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ck.json")
+			if err := Save(path, "test.kind", &payload{N: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := Save(path, "test.kind", &payload{N: 2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			var out payload
+			if err := Load(path, "test.kind", &out); err != nil {
+				t.Fatalf("Load did not fall back to the backup: %v", err)
+			}
+			if out.N != 1 {
+				t.Fatalf("fallback N = %d, want the previous good envelope 1", out.N)
+			}
+		})
+	}
+}
+
+// TestNoFallbackWithoutBackup pins that a corrupt primary with no .bak
+// still fails with the primary's error.
+func TestNoFallbackWithoutBackup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test.kind", &out); err == nil {
+		t.Fatal("Load accepted a corrupt primary with no backup")
+	}
+}
+
+// TestKindMismatchNeverFallsBack pins that resuming the wrong
+// subsystem's file is reported even when a backup exists: the backup
+// holds the same kind, and silently loading it would mask the caller's
+// bug.
+func TestKindMismatchNeverFallsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "nlp.alm", &payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "nlp.alm", &payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "other.kind", &out); !errors.Is(err, ErrKind) {
+		t.Fatalf("err = %v, want ErrKind", err)
+	}
+}
+
+// TestMissingPrimaryUsesBackup covers the crash window between the
+// backup link and the rename: the primary is gone but the .bak is the
+// previous good envelope.
+func TestMissingPrimaryUsesBackup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := Save(path, "test.kind", &payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, "test.kind", &payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "test.kind", &out); err != nil {
+		t.Fatalf("Load did not fall back to the backup: %v", err)
+	}
+	if out.N != 1 {
+		t.Fatalf("fallback N = %d, want 1", out.N)
 	}
 }
 

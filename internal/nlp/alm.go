@@ -41,6 +41,12 @@ func (m Method) String() string {
 	}
 }
 
+// Ladder returns the degradation ladder the solver walks when started
+// at m: rung 0 is m itself, each later rung strictly more conservative.
+// Supervisors resuming a NumericalFailure from a checkpoint consult it
+// to step the Checkpoint.Rung down explicitly.
+func Ladder(m Method) []Method { return ladderFor(m) }
+
 // ladderFor returns the degradation ladder starting at m: each rung is
 // strictly more conservative than the one before it.
 func ladderFor(m Method) []Method {

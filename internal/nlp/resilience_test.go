@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -378,8 +379,22 @@ func TestSaveCheckpointAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		t.Fatalf("temp files left behind: %d entries in dir", len(entries))
+	// The overwrite keeps exactly two files: the new checkpoint and
+	// the previous good version as .bak. No temp files survive.
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a.ckpt" || names[1] != "a.ckpt.bak" {
+		t.Fatalf("dir after overwrite = %v, want [a.ckpt a.ckpt.bak]", names)
+	}
+	bak, err := LoadCheckpoint(path + ".bak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bak.Outer != 1 {
+		t.Fatalf("backup Outer = %d, want previous version 1", bak.Outer)
 	}
 }
 

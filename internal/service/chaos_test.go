@@ -1,0 +1,354 @@
+package service
+
+import (
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nlp"
+)
+
+// chaos_test pins the crash-recovery acceptance criteria of the
+// service tentpole:
+//
+//   - a daemon SIGKILL'd mid-solve (Server.Kill: contexts cancelled,
+//     nothing flushed beyond the journal and checkpoints already on
+//     disk) restarts, resumes the interrupted job from its checkpoint
+//     and finishes with a result bit-identical to an uninterrupted
+//     run;
+//   - a graceful drain loses zero accepted jobs: queued and cancelled-
+//     at-deadline jobs all complete after a restart;
+//   - a torn journal tail (crash mid-append) does not block recovery.
+
+// holdWrap wraps the problem's first objective element so its Eval
+// blocks on the hold channel at per-element call fireAt, closing held
+// first — the hook that parks a solve mid-flight for the kill to land
+// on. Calls are counted across attempts and incarnations of the
+// wrapper (the counter lives outside), firing once.
+type holdSeam struct {
+	mu     sync.Mutex
+	calls  int
+	fireAt int
+	fired  bool
+	held   chan struct{}
+	hold   chan struct{}
+}
+
+func (h *holdSeam) wrap(p *nlp.Problem) *nlp.Problem {
+	q := *p
+	q.Objective = append([]nlp.Element(nil), p.Objective...)
+	inner := q.Objective[0].Eval
+	q.Objective[0].Eval = func(x []float64) float64 {
+		h.mu.Lock()
+		h.calls++
+		fire := h.calls >= h.fireAt && !h.fired
+		if fire {
+			h.fired = true
+		}
+		h.mu.Unlock()
+		if fire {
+			close(h.held)
+			<-h.hold
+		}
+		return inner(x)
+	}
+	return &q
+}
+
+// runReference solves the spec uninterrupted on a throwaway server
+// and returns its terminal result.
+func runReference(t *testing.T, spec JobSpec) *JobResult {
+	t.Helper()
+	srv, err := New(Options{StateDir: t.TempDir(), Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	if _, err := srv.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, srv, spec.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Drain(ctx)
+	return res
+}
+
+// waitResult polls the server API (not HTTP) to a terminal result.
+func waitResult(t *testing.T, srv *Server, id string) *JobResult {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		res, done, err := srv.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return res
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func TestKillMidSolveRecoversBitIdentical(t *testing.T) {
+	spec := deadlineSpec("chaos")
+
+	// Reference: the uninterrupted run.
+	ref := runReference(t, spec)
+	if ref.StatusCode != int(nlp.Stalled) && ref.StatusCode != int(nlp.Converged) {
+		t.Fatalf("reference run ended %q — pick a spec with a clean finish", ref.Status)
+	}
+	if ref.FuncEvals < 8 {
+		t.Fatalf("reference run too short (%d merit evals) to kill mid-solve", ref.FuncEvals)
+	}
+
+	// Incarnation 1: park the solve halfway through its merit evals,
+	// then kill the daemon while it hangs there.
+	dir := t.TempDir()
+	seam := &holdSeam{
+		fireAt: ref.FuncEvals / 2,
+		held:   make(chan struct{}),
+		hold:   make(chan struct{}),
+	}
+	srv1, err := New(Options{StateDir: dir, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.testWrap = func(id string, attempt int, p *nlp.Problem) *nlp.Problem {
+		return seam.wrap(p)
+	}
+	srv1.Start()
+	if _, err := srv1.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	<-seam.held
+	killDone := make(chan struct{})
+	go func() {
+		srv1.Kill()
+		close(killDone)
+	}()
+	// Give Kill a beat to cancel the job context, then release the
+	// parked element; the solver observes the cancellation at its next
+	// boundary and persists the checkpoint.
+	time.Sleep(50 * time.Millisecond)
+	close(seam.hold)
+	<-killDone
+
+	// The "dead" process left a journal acceptance and (solve
+	// permitting) a checkpoint; nothing terminal.
+	if _, err := os.Stat(srv1.checkpointPath("chaos")); err != nil {
+		t.Fatalf("killed daemon left no checkpoint: %v", err)
+	}
+
+	// Incarnation 2: plain restart on the same state directory.
+	srv2, err := New(Options{StateDir: dir, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := srv2.Recovered()
+	if len(rec) != 1 || rec[0] != "chaos" {
+		t.Fatalf("recovered %v, want [chaos]", rec)
+	}
+	srv2.Start()
+	got := waitResult(t, srv2, "chaos")
+
+	// The acceptance contract: every deterministic field matches the
+	// uninterrupted run exactly — bit-identical sizes included.
+	if !got.Recovered {
+		t.Fatal("recovered job not flagged Recovered")
+	}
+	if len(got.S) != len(ref.S) {
+		t.Fatalf("sizes: %d vs %d entries", len(got.S), len(ref.S))
+	}
+	for i := range ref.S {
+		if got.S[i] != ref.S[i] {
+			t.Fatalf("S[%d] differs after recovery: %v vs %v", i, got.S[i], ref.S[i])
+		}
+	}
+	if got.Mu != ref.Mu || got.Sigma != ref.Sigma || got.Area != ref.Area {
+		t.Fatalf("moments differ: got (%v,%v,%v) want (%v,%v,%v)",
+			got.Mu, got.Sigma, got.Area, ref.Mu, ref.Sigma, ref.Area)
+	}
+	if got.Status != ref.Status || got.Method != ref.Method {
+		t.Fatalf("status/method differ: %q/%q vs %q/%q", got.Status, got.Method, ref.Status, ref.Method)
+	}
+	if got.Outer != ref.Outer || got.Inner != ref.Inner || got.FuncEvals != ref.FuncEvals {
+		t.Fatalf("counters differ: (%d,%d,%d) vs (%d,%d,%d)",
+			got.Outer, got.Inner, got.FuncEvals, ref.Outer, ref.Inner, ref.FuncEvals)
+	}
+	if n := srv2.Metrics().CounterValue("service.jobs.recovered"); n != 1 {
+		t.Fatalf("recovered counter %d, want 1", n)
+	}
+
+	// The resumed run really resumed: its event stream replays only
+	// the outer iterations after the checkpoint, not the whole solve.
+	srv2.mu.Lock()
+	hist, _ := srv2.jobs["chaos"].hub.subscribe()
+	srv2.mu.Unlock()
+	outers := 0
+	for _, ev := range hist {
+		if strings.Contains(ev, `"scope":"alm","name":"outer"`) {
+			outers++
+		}
+	}
+	if outers == 0 || outers >= ref.Outer {
+		t.Fatalf("resumed incarnation replayed %d outer events (reference ran %d) — expected a partial resume", outers, ref.Outer)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv2.Drain(ctx)
+}
+
+func TestDrainLosesNoAcceptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{StateDir: dir, Pool: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	srv.testSolveDelay = func(string, int) { <-hold }
+	srv.Start()
+
+	ids := []string{"d1", "d2", "d3", "d4"}
+	for _, id := range ids {
+		if _, err := srv.Submit(deadlineSpec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitStateDirect(t, srv, "d1", JobRunning)
+
+	// Drain with a deadline the held job cannot meet: phase 2 cancels
+	// it at the boundary; the three queued jobs never start.
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		drainDone <- srv.Drain(ctx)
+	}()
+	// Let the drain deadline pass (phase 2 fires the cancellation),
+	// then release the held solve so it can observe it.
+	time.Sleep(300 * time.Millisecond)
+	close(hold)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := srv.Metrics().CounterValue("service.jobs.drained"); n != 4 {
+		t.Fatalf("drained counter %d, want 4 (1 running + 3 queued)", n)
+	}
+
+	// Restart: every accepted job must recover and complete. Zero
+	// loss, the drain acceptance criterion.
+	srv2, err := New(Options{StateDir: dir, Pool: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := srv2.Recovered(); len(rec) != len(ids) {
+		t.Fatalf("recovered %v, want all of %v", rec, ids)
+	}
+	srv2.Start()
+	for _, id := range ids {
+		res := waitResult(t, srv2, id)
+		if res == nil || len(res.S) == 0 {
+			t.Fatalf("job %s recovered without a result", id)
+		}
+		if !res.Recovered {
+			t.Fatalf("job %s not flagged Recovered", id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv2.Drain(ctx)
+}
+
+// waitStateDirect is waitState without the HTTP layer.
+func waitStateDirect(t *testing.T, srv *Server, id string, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := srv.Status(id)
+		if err == nil && st.State == want.String() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+}
+
+func TestRestartToleratesTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{StateDir: dir, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	srv.testSolveDelay = func(string, int) { <-hold }
+	srv.Start()
+	if _, err := srv.Submit(deadlineSpec("torn")); err != nil {
+		t.Fatal(err)
+	}
+	waitStateDirect(t, srv, "torn", JobRunning)
+	killDone := make(chan struct{})
+	go func() {
+		srv.Kill()
+		close(killDone)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(hold)
+	<-killDone
+
+	// Simulate the crash tearing the final journal record.
+	writeTorn(t, dir+"/journal.jsonl", `{"t":"done","id":"torn","state":"do`)
+
+	srv2, err := New(Options{StateDir: dir, Pool: 1})
+	if err != nil {
+		t.Fatalf("restart with torn tail: %v", err)
+	}
+	if rec := srv2.Recovered(); len(rec) != 1 || rec[0] != "torn" {
+		t.Fatalf("recovered %v, want [torn]", rec)
+	}
+	srv2.Start()
+	res := waitResult(t, srv2, "torn")
+	if len(res.S) == 0 {
+		t.Fatal("recovered job produced no sizing")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv2.Drain(ctx)
+}
+
+func TestKillBeforeStartRecoversQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{StateDir: dir, Pool: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start: jobs are accepted and journaled but never run — the
+	// daemon dies before its workers pick anything up.
+	for _, id := range []string{"q1", "q2"} {
+		if _, err := srv.Submit(deadlineSpec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Kill()
+
+	srv2, err := New(Options{StateDir: dir, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := srv2.Recovered(); len(rec) != 2 {
+		t.Fatalf("recovered %v, want both queued jobs", rec)
+	}
+	srv2.Start()
+	for _, id := range []string{"q1", "q2"} {
+		waitResult(t, srv2, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv2.Drain(ctx)
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The journal is the daemon's accepted-work ledger: an append-only
+// JSONL file in the state directory, fsynced per record. A job is
+// "accepted" exactly when its acceptance record is durable — the
+// submit handler journals before it answers 202 — so a SIGKILL at any
+// later moment cannot lose the job: the next start replays the
+// journal, finds acceptances without a terminal record, and requeues
+// them (resuming from their checkpoint files when one exists).
+//
+// Record types:
+//
+//	{"t":"accepted","id":...,"seq":n,"spec":{...}}   job admitted
+//	{"t":"done","id":...,"state":"done|failed|cancelled","result":{...}}
+//
+// A crash can tear at most the final record (appends are a single
+// write); replay therefore tolerates a malformed *last* line and
+// fails loudly on malformed interior lines, which indicate real
+// corruption rather than a torn tail.
+
+// journalRecord is one line of the ledger.
+type journalRecord struct {
+	T     string     `json:"t"`
+	ID    string     `json:"id"`
+	Seq   int        `json:"seq,omitempty"`
+	Spec  *JobSpec   `json:"spec,omitempty"`
+	State string     `json:"state,omitempty"`
+	Error string     `json:"error,omitempty"`
+	Res   *JobResult `json:"result,omitempty"`
+}
+
+// journal is the open ledger file.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// openJournal replays the ledger at path (missing file = empty) and
+// opens it for appending.
+func openJournal(path string) (*journal, []journalRecord, error) {
+	recs, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: journal: %w", err)
+	}
+	return &journal{f: f, path: path}, recs, nil
+}
+
+// replayJournal parses every record, tolerating a torn final line.
+func replayJournal(path string) ([]journalRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: journal: %w", err)
+	}
+	defer f.Close()
+	var recs []journalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			// The malformed line had records after it: interior
+			// corruption, not a torn tail.
+			return nil, pendingErr
+		}
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var r journalRecord
+		if err := json.Unmarshal(text, &r); err != nil {
+			pendingErr = fmt.Errorf("service: journal %s:%d: %w", path, line, err)
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: journal %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// append marshals, writes and fsyncs one record.
+func (j *journal) append(r journalRecord) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("service: journal: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("service: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("service: journal: %w", err)
+	}
+	// Durability is the point: the acceptance record must survive a
+	// SIGKILL the instant after the client sees 202.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal: %w", err)
+	}
+	return nil
+}
+
+// close stops further appends.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("service: journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTorn appends raw bytes without a trailing newline — the torn
+// tail a crash mid-append leaves behind.
+func writeTorn(t *testing.T, path, raw string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(f, raw); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	spec := JobSpec{ID: "a", Circuit: "tree7", Objective: "mu"}
+	if err := j.append(journalRecord{T: "accepted", ID: "a", Seq: 1, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	res := &JobResult{Mu: 7.5, Status: "converged"}
+	if err := j.append(journalRecord{T: "done", ID: "a", State: "done", Res: res}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err = openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	if recs[0].T != "accepted" || recs[0].Spec == nil || recs[0].Spec.Circuit != "tree7" {
+		t.Fatalf("acceptance did not round-trip: %+v", recs[0])
+	}
+	if recs[1].T != "done" || recs[1].Res == nil || recs[1].Res.Mu != 7.5 {
+		t.Fatalf("terminal record did not round-trip: %+v", recs[1])
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{ID: "a", Circuit: "tree7", Objective: "mu"}
+	if err := j.append(journalRecord{T: "accepted", ID: "a", Seq: 1, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	// A crash mid-append tears the final line.
+	writeTorn(t, path, `{"t":"done","id":"a","sta`)
+
+	_, recs, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must replay cleanly, got %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != "a" {
+		t.Fatalf("replayed %+v, want the single acceptance", recs)
+	}
+}
+
+func TestJournalRejectsInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	writeTorn(t, path, "{garbage\n")
+	writeTorn(t, path, `{"t":"accepted","id":"a","seq":1,"spec":{"circuit":"tree7","objective":"mu"}}`+"\n")
+	if _, _, err := openJournal(path); err == nil {
+		t.Fatal("interior corruption must fail replay, not be skipped")
+	}
+}
+
+func TestJournalAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	if err := j.append(journalRecord{T: "accepted", ID: "x"}); err == nil {
+		t.Fatal("append after close must error")
+	}
+}

@@ -1,0 +1,518 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadTestOptions configures the in-repo load harness: concurrent
+// clients submitting real jobs over real HTTP against a daemon that a
+// chaos goroutine hard-kills and restarts mid-run. The harness is the
+// acceptance evidence for the service tentpole — it demonstrates
+// admission under pressure, crash recovery under load, and records
+// throughput/latency into BENCH_service.json.
+type LoadTestOptions struct {
+	// Jobs is the total number of jobs to push through (default 12).
+	Jobs int
+	// Clients is the number of concurrent submitters (default 3).
+	Clients int
+	// Kills is how many times the chaos goroutine SIGKILLs (in
+	// process: Server.Kill + listener teardown) and restarts the
+	// daemon mid-run (default 2; 0 disables chaos).
+	Kills int
+	// Pool/QueueDepth configure each daemon incarnation (defaults 2/8).
+	Pool       int
+	QueueDepth int
+	// StateDir is the shared state directory every incarnation uses;
+	// empty creates a temp dir that is removed afterwards.
+	StateDir string
+	// Circuit, Objective, Constraint and MaxOuter shape the per-job
+	// work (defaults "tree7", "area" under "mu+3sigma<=6" — a tight
+	// deadline that drives multiple outer iterations, so checkpoint
+	// boundaries exist for kills to land between).
+	Circuit    string
+	Objective  string
+	Constraint string
+	MaxOuter   int
+	// SolveDelay pads each solve attempt (default 150ms). The builtin
+	// circuits solve in microseconds — far inside the kill windows —
+	// so the harness widens each job to a realistic occupancy, giving
+	// the chaos kills running work to interrupt.
+	SolveDelay time.Duration
+	// Timeout bounds the whole run (default 120s).
+	Timeout time.Duration
+}
+
+func (o LoadTestOptions) withDefaults() LoadTestOptions {
+	if o.Jobs <= 0 {
+		o.Jobs = 12
+	}
+	if o.Clients <= 0 {
+		o.Clients = 3
+	}
+	if o.Kills < 0 {
+		o.Kills = 0
+	}
+	if o.Pool <= 0 {
+		o.Pool = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.Circuit == "" {
+		o.Circuit = "tree7"
+	}
+	if o.Objective == "" {
+		o.Objective = "area"
+	}
+	if o.Constraint == "" {
+		o.Constraint = "mu+3sigma<=6"
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 12
+	}
+	if o.SolveDelay == 0 {
+		o.SolveDelay = 150 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// LoadTestReport is the harness result, serialized into
+// BENCH_service.json by cmd/sizingd -loadtest and make bench-service.
+type LoadTestReport struct {
+	Config struct {
+		Jobs         int    `json:"jobs"`
+		Clients      int    `json:"clients"`
+		Kills        int    `json:"kills"`
+		Pool         int    `json:"pool"`
+		QueueDepth   int    `json:"queue_depth"`
+		Circuit      string `json:"circuit"`
+		Objective    string `json:"objective"`
+		Constraint   string `json:"constraint"`
+		MaxOuter     int    `json:"max_outer"`
+		SolveDelayMS int64  `json:"solve_delay_ms"`
+	} `json:"config"`
+	// Done/Failed/Cancelled partition the terminal states observed by
+	// the clients; every submitted job must land in exactly one.
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Restarts counts chaos kill/restart cycles actually performed;
+	// Counters sums the service.jobs.* counters across incarnations.
+	Restarts int              `json:"restarts"`
+	Counters map[string]int64 `json:"counters"`
+	// Submit429 counts admission rejections clients absorbed;
+	// RetriedSubmits counts their successful re-submissions.
+	Submit429 int64 `json:"submit_429"`
+	// LatencyMS summarizes submit→terminal latency per job, restart
+	// downtime included.
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	WallMS     int64   `json:"wall_ms"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+}
+
+// harness owns the daemon incarnation the clients talk to.
+type harness struct {
+	opt  LoadTestOptions
+	addr string
+
+	mu       sync.Mutex
+	srv      *Server
+	httpSrv  *http.Server
+	counters map[string]int64
+	restarts int
+}
+
+// serviceCounters are the per-job supervision counters summed across
+// daemon incarnations into the report.
+var serviceCounters = []string{
+	"service.jobs.accepted", "service.jobs.rejected",
+	"service.jobs.completed", "service.jobs.failed",
+	"service.jobs.cancelled", "service.jobs.retried",
+	"service.jobs.recovered", "service.jobs.drained",
+	"service.jobs.stalled",
+}
+
+// start boots a daemon incarnation on the harness address (":0" once,
+// then the bound address forever after, so clients survive restarts).
+func (h *harness) start() error {
+	srv, err := New(Options{
+		StateDir:   h.opt.StateDir,
+		Pool:       h.opt.Pool,
+		QueueDepth: h.opt.QueueDepth,
+	})
+	if err != nil {
+		return err
+	}
+	if d := h.opt.SolveDelay; d > 0 {
+		srv.testSolveDelay = func(string, int) { time.Sleep(d) }
+	}
+	addr := h.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for tries := 0; ; tries++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if tries >= 20 {
+			srv.Kill()
+			return err
+		}
+		// The previous incarnation's listener may need a beat to
+		// release the port after a kill.
+		time.Sleep(50 * time.Millisecond)
+	}
+	if h.addr == "" {
+		// Bound once; restarts rebind the same address (clients keep a
+		// stable base URL across kills).
+		h.addr = ln.Addr().String()
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	srv.Start()
+	h.mu.Lock()
+	h.srv, h.httpSrv = srv, hs
+	h.mu.Unlock()
+	return nil
+}
+
+// harvest folds one incarnation's counters into the running totals.
+func (h *harness) harvest(srv *Server) {
+	for _, name := range serviceCounters {
+		h.counters[name] += srv.Metrics().CounterValue(name)
+	}
+}
+
+// kill tears the incarnation down the hard way: listener gone,
+// contexts cancelled, nothing flushed beyond what the journal and
+// checkpoint files already hold.
+func (h *harness) kill() {
+	h.mu.Lock()
+	srv, hs := h.srv, h.httpSrv
+	h.srv, h.httpSrv = nil, nil
+	h.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+	if srv != nil {
+		srv.Kill()
+		h.harvest(srv)
+	}
+}
+
+// drain shuts the final incarnation down gracefully.
+func (h *harness) drain(ctx context.Context) error {
+	h.mu.Lock()
+	srv, hs := h.srv, h.httpSrv
+	h.srv, h.httpSrv = nil, nil
+	h.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Drain(ctx)
+		h.harvest(srv)
+	}
+	if hs != nil {
+		hs.Close()
+	}
+	return err
+}
+
+// RunLoadTest drives the harness: Clients goroutines push Jobs jobs
+// through the HTTP API while the chaos goroutine performs Kills
+// kill/restart cycles; every job is polled to a terminal state. The
+// report aggregates latencies, counters across incarnations and the
+// final drain. An error means the harness itself failed (timeout,
+// lost job, daemon that would not restart) — the acceptance criteria,
+// not a soft statistic.
+func RunLoadTest(opt LoadTestOptions) (*LoadTestReport, error) {
+	opt = opt.withDefaults()
+	if opt.StateDir == "" {
+		dir, err := os.MkdirTemp("", "sizingd-load-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opt.StateDir = dir
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	defer cancel()
+
+	h := &harness{opt: opt, counters: make(map[string]int64)}
+	if err := h.start(); err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		submit429 int64
+		done      int
+		failed    int
+		cancelled int
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	base := func() string { return "http://" + h.addr }
+
+	// Chaos: kill/restart cycles spread across the run, each waiting
+	// for work to be in flight so the kill actually interrupts solves.
+	var chaosWG sync.WaitGroup
+	if opt.Kills > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			for k := 0; k < opt.Kills; k++ {
+				select {
+				case <-time.After(400 * time.Millisecond):
+				case <-ctx.Done():
+					return
+				}
+				h.kill()
+				h.mu.Lock()
+				h.restarts++
+				h.mu.Unlock()
+				if err := h.start(); err != nil {
+					fail(fmt.Errorf("loadtest: restart %d: %w", k+1, err))
+					return
+				}
+			}
+		}()
+	}
+
+	// Clients: submit with retry on 429/refused (the daemon may be
+	// mid-restart), then poll to terminal. A 409 on resubmit means the
+	// earlier attempt was accepted before the kill — the journal kept
+	// it, so the client just moves on to polling.
+	jobCh := make(chan int)
+	var clientWG sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		clientWG.Add(1)
+		go func() {
+			defer clientWG.Done()
+			for n := range jobCh {
+				id := fmt.Sprintf("load-%04d", n)
+				t0 := time.Now()
+				if err := submitJob(ctx, client, base, id, opt, &submit429, &mu); err != nil {
+					fail(err)
+					return
+				}
+				state, err := pollJob(ctx, client, base, id)
+				if err != nil {
+					fail(err)
+					return
+				}
+				lat := float64(time.Since(t0).Milliseconds())
+				mu.Lock()
+				latencies = append(latencies, lat)
+				switch state {
+				case "done":
+					done++
+				case "failed":
+					failed++
+				case "cancelled":
+					cancelled++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for n := 0; n < opt.Jobs; n++ {
+		select {
+		case jobCh <- n:
+		case <-ctx.Done():
+			n = opt.Jobs
+		}
+	}
+	close(jobCh)
+	clientWG.Wait()
+	chaosWG.Wait()
+
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer drainCancel()
+	if err := h.drain(drainCtx); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("loadtest: drain: %w", err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if total := done + failed + cancelled; total != opt.Jobs {
+		return nil, fmt.Errorf("loadtest: %d of %d jobs reached a terminal state", total, opt.Jobs)
+	}
+
+	rep := &LoadTestReport{
+		Done:      done,
+		Failed:    failed,
+		Cancelled: cancelled,
+		Restarts:  h.restarts,
+		Counters:  h.counters,
+		Submit429: submit429,
+		WallMS:    time.Since(start).Milliseconds(),
+	}
+	rep.Config.Jobs = opt.Jobs
+	rep.Config.Clients = opt.Clients
+	rep.Config.Kills = opt.Kills
+	rep.Config.Pool = opt.Pool
+	rep.Config.QueueDepth = opt.QueueDepth
+	rep.Config.Circuit = opt.Circuit
+	rep.Config.Objective = opt.Objective
+	rep.Config.Constraint = opt.Constraint
+	rep.Config.MaxOuter = opt.MaxOuter
+	rep.Config.SolveDelayMS = opt.SolveDelay.Milliseconds()
+	sort.Float64s(latencies)
+	rep.LatencyMS.P50 = quantileMS(latencies, 0.50)
+	rep.LatencyMS.P90 = quantileMS(latencies, 0.90)
+	rep.LatencyMS.P99 = quantileMS(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.LatencyMS.Max = latencies[n-1]
+	}
+	if rep.WallMS > 0 {
+		rep.Throughput = float64(opt.Jobs) / (float64(rep.WallMS) / 1000)
+	}
+	return rep, nil
+}
+
+// submitJob POSTs one job, absorbing 429 (admission backpressure),
+// 503 (drain never happens mid-run, but a restart can briefly 503)
+// and connection errors (daemon mid-restart). A 409 means an earlier
+// attempt was journaled before a kill: accepted, move on.
+func submitJob(ctx context.Context, client *http.Client, base func() string, id string, opt LoadTestOptions, submit429 *int64, mu *sync.Mutex) error {
+	spec := JobSpec{
+		ID:          id,
+		Circuit:     opt.Circuit,
+		Objective:   opt.Objective,
+		Constraints: []string{opt.Constraint},
+		MaxOuter:    opt.MaxOuter,
+	}
+	body, _ := json.Marshal(spec)
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("loadtest: submit %s: %w", id, err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base()+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			// Daemon mid-restart; back off and retry.
+			sleepCtx(ctx, 50*time.Millisecond)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusConflict:
+			return nil
+		case http.StatusTooManyRequests:
+			mu.Lock()
+			*submit429++
+			mu.Unlock()
+			sleepCtx(ctx, 100*time.Millisecond)
+		case http.StatusServiceUnavailable:
+			sleepCtx(ctx, 100*time.Millisecond)
+		default:
+			return fmt.Errorf("loadtest: submit %s: HTTP %d", id, resp.StatusCode)
+		}
+	}
+}
+
+// pollJob polls a job's status until it is terminal, riding through
+// restarts (connection errors and brief 404s while the next
+// incarnation replays its journal).
+func pollJob(ctx context.Context, client *http.Client, base func() string, id string) (string, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return "", fmt.Errorf("loadtest: poll %s: %w", id, err)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base()+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return "", err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			sleepCtx(ctx, 50*time.Millisecond)
+			continue
+		}
+		var st JobStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			sleepCtx(ctx, 50*time.Millisecond)
+			continue
+		}
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st.State, nil
+		}
+		sleepCtx(ctx, 50*time.Millisecond)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// quantileMS reads quantile p from ascending latencies with the same
+// nearest-rank convention the telemetry histograms use.
+func quantileMS(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WriteReport writes the report as indented JSON to path.
+func WriteReport(path string, rep *LoadTestReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

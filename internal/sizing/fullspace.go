@@ -437,6 +437,9 @@ func solveFullSpace(ctx context.Context, m *delay.Model, spec Spec) (*nlp.Result
 	if opt.Recorder == nil {
 		opt.Recorder = spec.Recorder
 	}
+	if spec.WrapProblem != nil {
+		p = spec.WrapProblem(p)
+	}
 	res, err := nlp.SolveCtx(ctx, p, x0, opt)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,73 @@
+package sizing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseObjective maps the textual objective syntax shared by the
+// statsize CLI and the sizingd job API to a sizing objective:
+// "mu", "mu+sigma", "mu+3sigma", "mu+2.5sigma", "area", "sigma",
+// "-sigma" (or "maxsigma").
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "mu":
+		return MinMu(), nil
+	case "area":
+		return MinArea(), nil
+	case "sigma":
+		return MinSigma(), nil
+	case "-sigma", "maxsigma":
+		return MaxSigma(), nil
+	}
+	if k, ok := parseKSigma(s); ok {
+		return MinMuPlusKSigma(k), nil
+	}
+	return Objective{}, fmt.Errorf("unknown objective %q", s)
+}
+
+// parseKSigma parses "mu+sigma", "mu+3sigma", "mu+2.5sigma".
+func parseKSigma(s string) (float64, bool) {
+	if !strings.HasPrefix(s, "mu+") || !strings.HasSuffix(s, "sigma") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(s, "mu+"), "sigma")
+	if mid == "" {
+		return 1, true
+	}
+	k, err := strconv.ParseFloat(mid, 64)
+	if err != nil || k < 0 {
+		return 0, false
+	}
+	return k, true
+}
+
+// ParseConstraint parses the textual timing-constraint syntax shared
+// by the statsize CLI and the sizingd job API: "mu<=120",
+// "mu+3sigma<=120", "mu=6.5". Spaces are ignored.
+func ParseConstraint(s string) (Constraint, error) {
+	s = strings.ReplaceAll(s, " ", "")
+	if i := strings.Index(s, "<="); i >= 0 {
+		bound, err := strconv.ParseFloat(s[i+2:], 64)
+		if err != nil {
+			return Constraint{}, fmt.Errorf("bad bound in %q", s)
+		}
+		lhs := s[:i]
+		if lhs == "mu" {
+			return DelayLE(0, bound), nil
+		}
+		if k, ok := parseKSigma(lhs); ok {
+			return DelayLE(k, bound), nil
+		}
+		return Constraint{}, fmt.Errorf("bad constraint lhs %q", lhs)
+	}
+	if i := strings.Index(s, "="); i >= 0 && s[:i] == "mu" {
+		bound, err := strconv.ParseFloat(s[i+1:], 64)
+		if err != nil {
+			return Constraint{}, fmt.Errorf("bad bound in %q", s)
+		}
+		return MuEQ(bound), nil
+	}
+	return Constraint{}, fmt.Errorf("cannot parse constraint %q", s)
+}

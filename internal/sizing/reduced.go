@@ -186,6 +186,9 @@ func solveReduced(ctx context.Context, m *delay.Model, spec Spec) (*nlp.Result, 
 		opt.Recorder = spec.Recorder
 	}
 
+	if spec.WrapProblem != nil {
+		p = spec.WrapProblem(p)
+	}
 	res, err := nlp.SolveCtx(ctx, p, x0, opt)
 	if err != nil {
 		return nil, nil, err

@@ -233,6 +233,15 @@ type Spec struct {
 	// the SSTA sweep spans of the reduced formulation, and a final
 	// "sizing.result" event. Nil disables instrumentation at zero cost.
 	Recorder telemetry.Recorder
+	// WrapProblem, when non-nil, receives the assembled NLP problem
+	// immediately before the solve and the solve runs on its return
+	// value. It is the fault-injection seam: the chaos and service
+	// acceptance tests thread internal/faults.Wrap through it to
+	// script deterministic in-solve failures. The wrapper must return
+	// a problem of identical shape (same N, bounds and constraint
+	// counts). The greedy sizer does not build an NLP problem and is
+	// unaffected.
+	WrapProblem func(*nlp.Problem) *nlp.Problem
 }
 
 // Outcome reports a sizing run in the units of the paper's tables.
