@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-inc bench-batch bench-hier bench-obsv bench-service test-batch test-hier test-obsv test-service smoke-service check trace faults
+.PHONY: build test vet race bench bench-inc bench-batch bench-hier bench-obsv bench-service bench-session test-batch test-hier test-obsv test-service test-session smoke-service check trace faults
 
 build:
 	$(GO) build ./...
@@ -185,6 +185,17 @@ test-service:
 	$(GO) test -race -timeout 10m ./internal/service/ ./cmd/sizingd/ \
 		./internal/checkpoint/
 
+# test-session runs the warm what-if session suite under the race
+# detector (the CI session job): the full HTTP lifecycle, admission
+# mapping, LRU evict + rebuild bit-identity against a never-evicted
+# control, concurrent PATCH linearization, what-if state purity, idle
+# reaping, roster recovery across a hard restart, and the SSE/strict-
+# body regression tests that ride along.
+test-session:
+	$(GO) test -race -timeout 10m \
+		-run 'Session|EventHub|TrailingGarbage|ReplayDisconnect' \
+		./internal/service/
+
 # smoke-service boots the daemon, pushes one job through the HTTP API
 # end to end and drains — the CI liveness check for cmd/sizingd.
 smoke-service:
@@ -200,6 +211,17 @@ bench-service:
 	$(GO) run ./cmd/sizingd -loadtest -out BENCH_service.json \
 		-jobs 16 -clients 4 -kills 3
 	cat BENCH_service.json
+
+# bench-session measures the same single-gate timing query served from
+# a warm what-if session (PATCH against the resident incremental
+# engine), a cold per-query session (create + nudge + close) and the
+# pre-session cold-job baseline (submit + poll to terminal) on the k2
+# netlist, recording the latency quantiles and speedups into
+# BENCH_session.json. The harness fails unless the warm path is at
+# least 10x faster than the cold job at the median.
+bench-session:
+	$(GO) run ./cmd/sizingd -sessionbench -out BENCH_session.json
+	cat BENCH_session.json
 
 # check is the CI gate: vet + build + tests + race-checked tests.
 check: vet build test race

@@ -19,10 +19,20 @@
 // either — accepted jobs are journaled before the 202 and recovered
 // at startup.
 //
-// Two auxiliary modes support CI:
+// Warm what-if sessions keep a circuit analyzed in memory between
+// requests; repeat single-gate nudges run against the incremental
+// engine instead of a fresh job:
 //
-//	sizingd -loadtest -out BENCH_service.json   chaos load harness
-//	sizingd -smoke                              boot, solve one job, drain
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"id":"s1","circuit":"k2"}'
+//	curl -s -X PATCH localhost:8080/v1/sessions/s1/sizes -d '{"sizes":{"g0":1.5}}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/whatif -d '{"sizes":{"g1":2.0}}'
+//	curl -s 'localhost:8080/v1/sessions/s1/timing?k=3&top=5'
+//
+// Auxiliary modes support CI:
+//
+//	sizingd -loadtest -out BENCH_service.json        chaos load harness
+//	sizingd -sessionbench -out BENCH_session.json    warm vs cold latency
+//	sizingd -smoke                                   boot, solve one job, drain
 package main
 
 import (
@@ -53,28 +63,48 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		maxGates      = flag.Int("max-gates", 0, "reject circuits with more gates (0 = unlimited)")
 		cancelOnStall = flag.Int("cancel-on-stall", 0, "cancel a job after this many watchdog stalls (0 = record only)")
+		maxSessions   = flag.Int("max-sessions", 64, "what-if session roster limit")
+		sessionBytes  = flag.Int64("session-bytes", 256<<20, "warm session engine memory budget (bytes)")
+		sessionIdle   = flag.Duration("session-idle-timeout", 0, "evict warm session engines idle this long (0 = never)")
 		loadtest      = flag.Bool("loadtest", false, "run the chaos load harness instead of serving")
-		out           = flag.String("out", "BENCH_service.json", "loadtest report path")
+		out           = flag.String("out", "", "report path (default BENCH_service.json / BENCH_session.json)")
 		jobs          = flag.Int("jobs", 12, "loadtest: total jobs")
 		clients       = flag.Int("clients", 3, "loadtest: concurrent clients")
 		kills         = flag.Int("kills", 2, "loadtest: kill/restart cycles")
+		sessionbench  = flag.Bool("sessionbench", false, "run the warm-session vs cold-job latency harness")
+		benchCircuit  = flag.String("bench-circuit", "k2", "sessionbench: circuit")
+		benchNudges   = flag.Int("bench-nudges", 300, "sessionbench: warm nudges")
 		smoke         = flag.Bool("smoke", false, "boot, run one job end to end, drain, exit")
 	)
 	flag.Parse()
 
 	if *loadtest {
-		os.Exit(runLoadTest(*out, *jobs, *clients, *kills, *pool, *queue))
+		path := *out
+		if path == "" {
+			path = "BENCH_service.json"
+		}
+		os.Exit(runLoadTest(path, *jobs, *clients, *kills, *pool, *queue))
+	}
+	if *sessionbench {
+		path := *out
+		if path == "" {
+			path = "BENCH_session.json"
+		}
+		os.Exit(runSessionBench(path, *benchCircuit, *benchNudges))
 	}
 
 	opts := service.Options{
-		StateDir:      *state,
-		Pool:          *pool,
-		QueueDepth:    *queue,
-		MaxRetries:    *retries,
-		JobTimeout:    *jobTimeout,
-		DrainTimeout:  *drainTimeout,
-		MaxGates:      *maxGates,
-		CancelOnStall: *cancelOnStall,
+		StateDir:           *state,
+		Pool:               *pool,
+		QueueDepth:         *queue,
+		MaxRetries:         *retries,
+		JobTimeout:         *jobTimeout,
+		DrainTimeout:       *drainTimeout,
+		MaxGates:           *maxGates,
+		CancelOnStall:      *cancelOnStall,
+		MaxSessions:        *maxSessions,
+		SessionBytes:       *sessionBytes,
+		SessionIdleTimeout: *sessionIdle,
 	}
 	if *smoke {
 		os.Exit(runSmoke(opts))
@@ -94,6 +124,9 @@ func runDaemon(addr string, opts service.Options) int {
 	srv.Metrics().Publish("sizingd")
 	if rec := srv.Recovered(); len(rec) > 0 {
 		fmt.Printf("sizingd: recovered %d job(s) from journal: %v\n", len(rec), rec)
+	}
+	if rec := srv.RecoveredSessions(); len(rec) > 0 {
+		fmt.Printf("sizingd: recovered %d session(s) from journal: %v\n", len(rec), rec)
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -151,6 +184,29 @@ func runLoadTest(out string, jobs, clients, kills, pool, queue int) int {
 	}
 	fmt.Printf("sizingd: loadtest %d jobs, %d restarts, p50 %.0fms p99 %.0fms, %.1f jobs/s → %s\n",
 		rep.Config.Jobs, rep.Restarts, rep.LatencyMS.P50, rep.LatencyMS.P99, rep.Throughput, out)
+	return 0
+}
+
+// runSessionBench runs the warm-session vs cold-job harness and
+// writes the report. The harness itself enforces the >= 10x warm
+// speedup acceptance and fails the exit code when it does not hold.
+func runSessionBench(out, circuit string, nudges int) int {
+	rep, err := service.RunSessionBench(service.SessionBenchOptions{
+		Circuit:    circuit,
+		WarmNudges: nudges,
+	})
+	if rep != nil {
+		if werr := service.WriteSessionBench(out, rep); werr != nil {
+			fmt.Fprintln(os.Stderr, "sizingd: sessionbench:", werr)
+			return 1
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sizingd: sessionbench:", err)
+		return 1
+	}
+	fmt.Printf("sizingd: sessionbench %s (%d gates): warm p50 %.3fms, cold session p50 %.1fms, cold job p50 %.1fms, speedup %.0fx → %s\n",
+		rep.Config.Circuit, rep.Config.Gates, rep.WarmNudgeMS.P50, rep.ColdSessionMS.P50, rep.ColdJobMS.P50, rep.SpeedupP50, out)
 	return 0
 }
 

@@ -19,6 +19,7 @@ type eventHub struct {
 	history []string
 	subs    map[chan string]struct{}
 	closed  bool
+	lagged  int // subscribers closed for lagging (observability + tests)
 }
 
 func newEventHub() *eventHub {
@@ -26,9 +27,11 @@ func newEventHub() *eventHub {
 }
 
 // publish appends one rendered event and wakes subscribers. Slow
-// subscribers never block the solve: a full channel drops the live
-// send (the subscriber is behind its own replay cursor and will be
-// closed lagging rather than stall a solver goroutine).
+// subscribers never block the solve: a subscriber whose channel is
+// full is lagging — dropping the event silently would violate the
+// complete-sequence contract, so the laggard is removed and its
+// channel closed instead. The client sees its stream end, reconnects,
+// and replays the full history (which always has every event).
 func (h *eventHub) publish(ev string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -40,6 +43,9 @@ func (h *eventHub) publish(ev string) {
 		select {
 		case ch <- ev:
 		default:
+			h.lagged++
+			delete(h.subs, ch)
+			close(ch)
 		}
 	}
 }

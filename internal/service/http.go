@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"expvar"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -20,6 +21,7 @@ import (
 //	GET    /v1/jobs/{id}/events   SSE convergence stream (alm.outer …)
 //	POST   /v1/jobs/{id}/cancel   request cancellation
 //	DELETE /v1/jobs/{id}          same as cancel
+//	/v1/sessions/…                warm what-if sessions (sessions_http.go)
 //	GET    /healthz               liveness (200 while the process runs)
 //	GET    /readyz                readiness (503 once draining)
 //	GET    /metrics               Prometheus exposition
@@ -38,6 +40,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	mux.HandleFunc("PATCH /v1/sessions/{id}/sizes", s.handleSessionSizes)
+	mux.HandleFunc("POST /v1/sessions/{id}/whatif", s.handleSessionWhatIf)
+	mux.HandleFunc("GET /v1/sessions/{id}/timing", s.handleSessionTiming)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -62,6 +71,11 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// replayFlushEvery batches the SSE history replay's flushes: small
+// enough that a client sees progress promptly on long histories,
+// large enough that the replay is not one syscall per event.
+const replayFlushEvery = 32
+
 // apiError is the uniform error payload.
 type apiError struct {
 	Error string `json:"error"`
@@ -79,11 +93,25 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
+// decodeStrict decodes exactly one JSON value from the request body:
+// unknown fields are rejected, and so is anything after the value —
+// without the trailing io.EOF check, `{"id":"a"}{"id":"b"}` (or any
+// garbage suffix) would silently decode as the first value alone.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("service: trailing data after JSON body")
+	}
+	return nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeStrict(w, r, &spec); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -177,8 +205,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if live != nil {
 		defer jb.hub.unsubscribe(live)
 	}
+	ctx := r.Context()
 	var sb strings.Builder
-	for _, ev := range hist {
+	for i, ev := range hist {
+		// A disconnected client must not keep the handler replaying a
+		// long history into a dead connection, and a connected one
+		// should see events promptly rather than after the whole
+		// replay — so poll the request context and flush in batches.
+		if ctx.Err() != nil {
+			return
+		}
 		sb.Reset()
 		sb.WriteString("data: ")
 		sb.WriteString(ev)
@@ -186,13 +222,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if _, err := w.Write([]byte(sb.String())); err != nil {
 			return
 		}
+		if (i+1)%replayFlushEvery == 0 {
+			fl.Flush()
+		}
 	}
 	fl.Flush()
 	if live == nil {
 		// The stream already ended; the replay was complete.
 		return
 	}
-	ctx := r.Context()
 	for {
 		select {
 		case ev, ok := <-live:

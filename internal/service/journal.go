@@ -20,6 +20,13 @@ import (
 //
 //	{"t":"accepted","id":...,"seq":n,"spec":{...}}   job admitted
 //	{"t":"done","id":...,"state":"done|failed|cancelled","result":{...}}
+//	{"t":"session","id":...,"seq":n,"session":{...}} session created
+//	{"t":"session-closed","id":...}                  session deleted
+//
+// Only session *creation* is journaled, not every nudge: a restarted
+// daemon recovers its session roster (so clients' session handles keep
+// working) with sizes reset to the baseline, surfaced to the client as
+// Recovered=true plus rebuilt=true on the first touch.
 //
 // A crash can tear at most the final record (appends are a single
 // write); replay therefore tolerates a malformed *last* line and
@@ -35,6 +42,8 @@ type journalRecord struct {
 	State string     `json:"state,omitempty"`
 	Error string     `json:"error,omitempty"`
 	Res   *JobResult `json:"result,omitempty"`
+	// Session carries the spec of a "session" record.
+	Session *SessionSpec `json:"session,omitempty"`
 }
 
 // journal is the open ledger file.

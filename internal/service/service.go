@@ -93,6 +93,16 @@ type Options struct {
 	// CancelOnStall cancels a job after this many watchdog stall
 	// episodes (0 = record stalls without cancelling).
 	CancelOnStall int
+	// MaxSessions bounds the what-if session roster; a full roster
+	// rejects creates with 429 (default 64).
+	MaxSessions int
+	// SessionBytes budgets the warm session engines' memory; least-
+	// recently-used engines are evicted past it and rebuild
+	// transparently on the next touch (default 256 MiB).
+	SessionBytes int64
+	// SessionIdleTimeout evicts a session's warm engine after this much
+	// inactivity (the roster entry stays; 0 = never).
+	SessionIdleTimeout time.Duration
 	// Recorder, when non-nil, receives every job's solver telemetry in
 	// addition to the server's own metrics sink.
 	Recorder telemetry.Recorder
@@ -123,7 +133,7 @@ func (o Options) withDefaults() Options {
 	if o.Metrics == nil {
 		o.Metrics = telemetry.NewMetrics()
 	}
-	return o
+	return sessionDefaults(o)
 }
 
 // Server is the daemon core. Create with New, start the worker pool
@@ -148,6 +158,18 @@ type Server struct {
 	killed    bool
 	stopped   bool // workers told to exit
 	recovered []*job
+
+	// The what-if session table (session.go). sessMu guards the roster,
+	// the LRU and the warm-byte accounting; each session's engine runs
+	// under its own per-session mutex. Lock order: a session mutex is
+	// never acquired while sessMu is held.
+	sessMu        sync.Mutex
+	sessions      map[string]*session
+	sessOrder     []string   // creation order, for listing
+	sessLRU       []*session // warm engines, least recently used first
+	warmBytes     int64
+	sessSeq       int
+	recoveredSess []string
 
 	workers sync.WaitGroup
 
@@ -178,12 +200,13 @@ func New(opt Options) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opt:     opt,
-		metrics: opt.Metrics,
-		journal: jnl,
-		baseCtx: ctx,
-		stopAll: cancel,
-		jobs:    make(map[string]*job),
+		opt:      opt,
+		metrics:  opt.Metrics,
+		journal:  jnl,
+		baseCtx:  ctx,
+		stopAll:  cancel,
+		jobs:     make(map[string]*job),
+		sessions: make(map[string]*session),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.recover(recs); err != nil {
@@ -237,6 +260,39 @@ func (s *Server) recover(recs []journalRecord) error {
 			jb.result = r.Res
 			jb.errMsg = r.Error
 			jb.hub.close()
+		case "session":
+			if r.Session == nil || r.ID == "" {
+				return fmt.Errorf("service: journal session record for %q lacks a spec", r.ID)
+			}
+			if _, dup := s.sessions[r.ID]; dup {
+				return fmt.Errorf("service: journal creates session %q twice", r.ID)
+			}
+			// Recovered sessions come back evicted: spec only, baseline
+			// sizes, engine rebuilt on the first touch (Recovered=true
+			// tells the client its nudges did not survive the restart).
+			s.sessions[r.ID] = &session{
+				id:        r.ID,
+				seq:       r.Seq,
+				spec:      *r.Session,
+				created:   time.Now(),
+				recovered: true,
+			}
+			s.sessOrder = append(s.sessOrder, r.ID)
+			if r.Seq > s.sessSeq {
+				s.sessSeq = r.Seq
+			}
+		case "session-closed":
+			ss := s.sessions[r.ID]
+			if ss == nil {
+				return fmt.Errorf("service: journal closes unknown session %q", r.ID)
+			}
+			delete(s.sessions, r.ID)
+			for i, sid := range s.sessOrder {
+				if sid == r.ID {
+					s.sessOrder = append(s.sessOrder[:i], s.sessOrder[i+1:]...)
+					break
+				}
+			}
 		default:
 			return fmt.Errorf("service: journal record type %q unknown", r.T)
 		}
@@ -249,6 +305,10 @@ func (s *Server) recover(recs []journalRecord) error {
 			s.recovered = append(s.recovered, jb)
 			s.metrics.Count("service.jobs.recovered", 1)
 		}
+	}
+	for _, id := range s.sessOrder {
+		s.recoveredSess = append(s.recoveredSess, id)
+		s.metrics.Count("service.sessions.recovered", 1)
 	}
 	return nil
 }
@@ -268,8 +328,9 @@ func (s *Server) Recovered() []string {
 // Metrics returns the server's telemetry sink.
 func (s *Server) Metrics() *telemetry.Metrics { return s.metrics }
 
-// Start launches the worker pool. It returns immediately; recovered
-// jobs are already queued and run first.
+// Start launches the worker pool (and, when configured, the session
+// idle reaper). It returns immediately; recovered jobs are already
+// queued and run first.
 func (s *Server) Start() {
 	s.workers.Add(s.opt.Pool)
 	for i := 0; i < s.opt.Pool; i++ {
@@ -281,6 +342,27 @@ func (s *Server) Start() {
 					return
 				}
 				s.runJob(jb)
+			}
+		}()
+	}
+	if idle := s.opt.SessionIdleTimeout; idle > 0 {
+		tick := idle / 4
+		if tick < 100*time.Millisecond {
+			tick = 100 * time.Millisecond
+		}
+		if tick > 30*time.Second {
+			tick = 30 * time.Second
+		}
+		go func() {
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.reapIdleSessions(idle)
+				case <-s.baseCtx.Done():
+					return
+				}
 			}
 		}()
 	}

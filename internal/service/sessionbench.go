@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+)
+
+// The session bench harness is the acceptance evidence for the warm
+// what-if session tentpole: the same single-gate timing query served
+// three ways over real HTTP —
+//
+//	warm nudge    PATCH on a long-lived session: O(dirty cone) on the
+//	              resident incremental engine
+//	cold session  create + nudge + close per query: a full parse +
+//	              analyze each time, no solve pipeline
+//	cold job      the pre-session baseline: submit a minimal solve job
+//	              and poll it to terminal (parse + analyze + journal
+//	              fsyncs + scheduling + poll)
+//
+// The acceptance criterion is warm ≥ 10× faster than the cold job at
+// the median; the report lands in BENCH_session.json.
+
+// SessionBenchOptions configures the harness.
+type SessionBenchOptions struct {
+	// Circuit is the benchmark workload (default "k2", 1692 gates —
+	// the paper's largest Table 1 circuit).
+	Circuit string
+	// WarmNudges is the number of warm single-gate PATCHes (default 300).
+	WarmNudges int
+	// ColdJobs is the number of submit-and-poll baseline jobs
+	// (default 20).
+	ColdJobs int
+	// ColdSessions is the number of create+nudge+close round trips
+	// (default 20).
+	ColdSessions int
+	// Timeout bounds the whole run (default 120s).
+	Timeout time.Duration
+}
+
+func (o SessionBenchOptions) withDefaults() SessionBenchOptions {
+	if o.Circuit == "" {
+		o.Circuit = "k2"
+	}
+	if o.WarmNudges <= 0 {
+		o.WarmNudges = 300
+	}
+	if o.ColdJobs <= 0 {
+		o.ColdJobs = 20
+	}
+	if o.ColdSessions <= 0 {
+		o.ColdSessions = 20
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// LatencySummary condenses one latency population, in milliseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(ms []float64) LatencySummary {
+	s := LatencySummary{Count: len(ms)}
+	if len(ms) == 0 {
+		return s
+	}
+	sort.Float64s(ms)
+	s.P50 = quantileMS(ms, 0.50)
+	s.P90 = quantileMS(ms, 0.90)
+	s.P99 = quantileMS(ms, 0.99)
+	s.Max = ms[len(ms)-1]
+	sum := 0.0
+	for _, v := range ms {
+		sum += v
+	}
+	s.Mean = sum / float64(len(ms))
+	return s
+}
+
+// SessionBenchReport is the harness result, serialized into
+// BENCH_session.json by cmd/sizingd -sessionbench and make
+// bench-session.
+type SessionBenchReport struct {
+	Config struct {
+		Circuit      string `json:"circuit"`
+		Gates        int    `json:"gates"`
+		WarmNudges   int    `json:"warm_nudges"`
+		ColdJobs     int    `json:"cold_jobs"`
+		ColdSessions int    `json:"cold_sessions"`
+	} `json:"config"`
+	// WarmNudgeMS is the PATCH round-trip latency on the warm session.
+	WarmNudgeMS LatencySummary `json:"warm_nudge_ms"`
+	// ColdSessionMS is create+nudge+close per query.
+	ColdSessionMS LatencySummary `json:"cold_session_ms"`
+	// ColdJobMS is submit-and-poll-to-terminal per query.
+	ColdJobMS LatencySummary `json:"cold_job_ms"`
+	// Speedups are cold-job latency over warm-nudge latency — the
+	// tentpole's acceptance number (>= 10 required at the median).
+	SpeedupP50  float64 `json:"speedup_cold_job_over_warm_p50"`
+	SpeedupMean float64 `json:"speedup_cold_job_over_warm_mean"`
+	// SessionSpeedupP50 is cold-session over warm-nudge at the median.
+	SessionSpeedupP50 float64 `json:"speedup_cold_session_over_warm_p50"`
+	WallMS            int64   `json:"wall_ms"`
+}
+
+// benchClient wraps one JSON round trip with latency capture.
+type benchClient struct {
+	base   string
+	client *http.Client
+}
+
+func (c *benchClient) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// RunSessionBench boots a daemon in-process, measures the three query
+// paths and returns the report. An error means the harness failed
+// (non-2xx, timeout), not a slow result — except the final acceptance
+// check: a warm path slower than a tenth of the cold-job path fails
+// loudly, because that is the tentpole's contract.
+func RunSessionBench(opt SessionBenchOptions) (*SessionBenchReport, error) {
+	opt = opt.withDefaults()
+	dir, err := os.MkdirTemp("", "sizingd-sessbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := New(Options{StateDir: dir, Pool: 2})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Kill()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		srv.Drain(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	defer cancel()
+	bc := &benchClient{base: "http://" + ln.Addr().String(), client: &http.Client{Timeout: 15 * time.Second}}
+	start := time.Now()
+
+	rep := &SessionBenchReport{}
+	rep.Config.Circuit = opt.Circuit
+	rep.Config.WarmNudges = opt.WarmNudges
+	rep.Config.ColdJobs = opt.ColdJobs
+	rep.Config.ColdSessions = opt.ColdSessions
+
+	// Warm path: one session, WarmNudges single-gate PATCHes cycling a
+	// few gates through alternating speed factors.
+	var st SessionStatus
+	code, err := bc.do(ctx, http.MethodPost, "/v1/sessions", SessionSpec{ID: "bench-warm", Circuit: opt.Circuit}, &st)
+	if err != nil || code != http.StatusCreated {
+		return nil, fmt.Errorf("sessionbench: warm create: HTTP %d, %v", code, err)
+	}
+	rep.Config.Gates = st.Gates
+	warm := make([]float64, 0, opt.WarmNudges)
+	for i := 0; i < opt.WarmNudges; i++ {
+		gate := fmt.Sprintf("g%d", i%16)
+		size := 1.0 + float64(i%2)*0.5
+		t0 := time.Now()
+		var nr NudgeReply
+		code, err := bc.do(ctx, http.MethodPatch, "/v1/sessions/bench-warm/sizes",
+			sizesBody{Sizes: map[string]float64{gate: size}}, &nr)
+		if err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("sessionbench: warm nudge %d: HTTP %d, %v", i, code, err)
+		}
+		warm = append(warm, float64(time.Since(t0).Microseconds())/1000)
+	}
+	rep.WarmNudgeMS = summarize(warm)
+
+	// Cold-session path: pay the parse + full analyze on every query.
+	coldSess := make([]float64, 0, opt.ColdSessions)
+	for i := 0; i < opt.ColdSessions; i++ {
+		id := fmt.Sprintf("bench-cs-%03d", i)
+		t0 := time.Now()
+		if code, err := bc.do(ctx, http.MethodPost, "/v1/sessions", SessionSpec{ID: id, Circuit: opt.Circuit}, nil); err != nil || code != http.StatusCreated {
+			return nil, fmt.Errorf("sessionbench: cold session create: HTTP %d, %v", code, err)
+		}
+		if code, err := bc.do(ctx, http.MethodPatch, "/v1/sessions/"+id+"/sizes",
+			sizesBody{Sizes: map[string]float64{"g0": 1.5}}, nil); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("sessionbench: cold session nudge: HTTP %d, %v", code, err)
+		}
+		if code, err := bc.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("sessionbench: cold session close: HTTP %d, %v", code, err)
+		}
+		coldSess = append(coldSess, float64(time.Since(t0).Microseconds())/1000)
+	}
+	rep.ColdSessionMS = summarize(coldSess)
+
+	// Cold-job path: the pre-session baseline for "what is the timing
+	// after this one nudge" — a minimal solve job (greedy area under a
+	// deadline the baseline already meets) submitted and polled to
+	// terminal.
+	coldJob := make([]float64, 0, opt.ColdJobs)
+	for i := 0; i < opt.ColdJobs; i++ {
+		id := fmt.Sprintf("bench-cj-%03d", i)
+		spec := JobSpec{
+			ID:          id,
+			Circuit:     opt.Circuit,
+			Objective:   "area",
+			Constraints: []string{"mu+3sigma<=1e9"},
+		}
+		t0 := time.Now()
+		if code, err := bc.do(ctx, http.MethodPost, "/v1/jobs", spec, nil); err != nil || code != http.StatusAccepted {
+			return nil, fmt.Errorf("sessionbench: cold job submit: HTTP %d, %v", code, err)
+		}
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sessionbench: cold job %s: %w", id, err)
+			}
+			var jst JobStatus
+			code, err := bc.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &jst)
+			if err != nil || code != http.StatusOK {
+				return nil, fmt.Errorf("sessionbench: cold job poll: HTTP %d, %v", code, err)
+			}
+			if jst.State == "done" {
+				break
+			}
+			if jst.State == "failed" || jst.State == "cancelled" {
+				return nil, fmt.Errorf("sessionbench: cold job %s ended %s", id, jst.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		coldJob = append(coldJob, float64(time.Since(t0).Microseconds())/1000)
+	}
+	rep.ColdJobMS = summarize(coldJob)
+
+	rep.WallMS = time.Since(start).Milliseconds()
+	if rep.WarmNudgeMS.P50 > 0 {
+		rep.SpeedupP50 = rep.ColdJobMS.P50 / rep.WarmNudgeMS.P50
+		rep.SessionSpeedupP50 = rep.ColdSessionMS.P50 / rep.WarmNudgeMS.P50
+	}
+	if rep.WarmNudgeMS.Mean > 0 {
+		rep.SpeedupMean = rep.ColdJobMS.Mean / rep.WarmNudgeMS.Mean
+	}
+	if rep.SpeedupP50 < 10 {
+		return rep, fmt.Errorf("sessionbench: warm nudge p50 %.3fms is only %.1fx faster than the cold job p50 %.3fms (acceptance requires >= 10x)",
+			rep.WarmNudgeMS.P50, rep.SpeedupP50, rep.ColdJobMS.P50)
+	}
+	return rep, nil
+}
+
+// WriteSessionBench writes the report as indented JSON to path.
+func WriteSessionBench(path string, rep *SessionBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -2,6 +2,7 @@ package ssta
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/delay"
 	"repro/internal/netlist"
@@ -195,9 +196,18 @@ func (inc *Inc) markDirty(id netlist.NodeID) {
 // gates dirty (id and its fanin drivers — the SDependents rule). A
 // bit-identical size is a no-op. The change takes effect at the next
 // Update.
+//
+// A non-finite size panics at this API boundary (the checkRiskFactor
+// convention): NaN would poison the slabs and, being != to itself,
+// could never even no-op out through the bit-compare guard below, so
+// it must not reach the engine at all. Callers exposing SetSize to
+// untrusted input (the service's PATCH path) validate first.
 func (inc *Inc) SetSize(id netlist.NodeID, s float64) {
 	if inc.m.G.C.Nodes[id].Kind != netlist.KindGate {
 		panic("ssta: Inc.SetSize on a non-gate node")
+	}
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		panic("ssta: Inc.SetSize requires a finite speed factor, got " + formatFloat(s))
 	}
 	if inc.s[id] == s {
 		return
@@ -385,6 +395,50 @@ func (inc *Inc) Rollback() stats.MV {
 	inc.logS = inc.logS[:0]
 	inc.inTrial = false
 	return inc.res.Tmax
+}
+
+// Criticality flushes pending updates and returns each gate's
+// statistical criticality d muTmax / d mu_t — the adjoint sweep over
+// the engine's warm tape under a (1, 0) seed, bit-identical to
+// CriticalityWorkers at the engine's current sizes but without the
+// fresh O(V) taped sweep that entry point pays. The returned slice is
+// engine-owned scratch, overwritten by the next adjoint pass
+// (Backward/GradMuPlusKSigma included) — copy it to keep it.
+func (inc *Inc) Criticality() []float64 {
+	inc.Update()
+	inc.res.backwardInto(inc.m, inc.s, 1, 0, inc.workers, &inc.sc)
+	return inc.sc.dmu
+}
+
+// MemoryBytes estimates the engine's resident slab footprint: the
+// forward/adjoint slabs, the tape arena and the trial log backing
+// arrays. It is the byte cost a cache of warm engines pays to keep
+// this one alive (the session LRU's budget unit), not an exact
+// accounting of every header.
+func (inc *Inc) MemoryBytes() int64 {
+	const (
+		mvSize  = 16 // stats.MV: 2 float64
+		jacSize = 64 // stats.Jac2x4: 2x4 float64
+	)
+	n := int64(len(inc.s))
+	b := n * 8          // s
+	b += 2 * n * mvSize // Arrival, GateDelay
+	b += 2 * n * 8      // nodeGen, sGen
+	b += 2 * n          // dirty, changed
+	b += n * 24         // gateFold subslice headers
+	b += int64(len(inc.tapeArena)) * jacSize
+	b += 2 * int64(len(inc.res.outFold)) * jacSize // outFold + savedOutFold
+	for _, bucket := range inc.byLevel {
+		b += int64(cap(bucket)) * 8
+	}
+	// Adjoint scratch (present after the first Backward).
+	b += int64(cap(inc.sc.adjMu)+cap(inc.sc.adjVar)+cap(inc.sc.grad)+cap(inc.sc.dmu)) * 8
+	b += int64(cap(inc.sc.cMu)+cap(inc.sc.cVar)) * 8
+	// Trial undo log backing arrays.
+	b += int64(cap(inc.logTape)) * jacSize
+	b += int64(cap(inc.logNodes)) * 48 // nodeSave: id + 2 MV + offset
+	b += int64(cap(inc.logS)) * 16
+	return b
 }
 
 // Tmax returns the circuit delay moments as of the last Update.

@@ -2,6 +2,7 @@ package ssta
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -253,9 +254,62 @@ func TestIncSetSizePanics(t *testing.T) {
 		}
 	}
 	mustPanic("SetSize(input)", func() { inc.SetSize(input, 2) })
+	gate := m.G.C.GateIDs()[0]
+	mustPanic("SetSize(NaN)", func() { inc.SetSize(gate, math.NaN()) })
+	mustPanic("SetSize(+Inf)", func() { inc.SetSize(gate, math.Inf(1)) })
+	mustPanic("SetSize(-Inf)", func() { inc.SetSize(gate, math.Inf(-1)) })
 	inc.Trial()
 	mustPanic("nested Trial", func() { inc.Trial() })
 	inc.Commit()
 	mustPanic("Commit outside trial", func() { inc.Commit() })
 	mustPanic("Rollback outside trial", func() { inc.Rollback() })
+	// The rejected non-finite sizes must not have poisoned the engine:
+	// its state still matches a fresh sweep bit for bit.
+	checkIncMatchesFresh(t, inc, m, 3)
+}
+
+// TestIncCriticalityMatchesWorkers pins the warm-engine criticality
+// accessor against the fresh-sweep entry point after a trajectory of
+// size nudges, for worker counts 1 and 4.
+func TestIncCriticalityMatchesWorkers(t *testing.T) {
+	for name, m := range parallelTestModels(t) {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/j%d", name, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				gates := m.G.C.GateIDs()
+				inc := NewInc(m, m.UnitSizes(), IncOptions{Workers: workers})
+				for step := 0; step < 8; step++ {
+					g := gates[rng.Intn(len(gates))]
+					inc.SetSize(g, 1+rng.Float64()*(m.Limit-1))
+					warm := inc.Criticality()
+					fresh := CriticalityWorkers(m, inc.Sizes(), workers)
+					for id := range fresh {
+						if warm[id] != fresh[id] {
+							t.Fatalf("step %d: criticality[%d] diverged: warm %v fresh %v",
+								step, id, warm[id], fresh[id])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIncMemoryBytes sanity-checks the footprint estimate: positive,
+// larger for larger circuits, and covering at least the dominant
+// moment slabs.
+func TestIncMemoryBytes(t *testing.T) {
+	models := parallelTestModels(t)
+	small := NewInc(models["tree7"], models["tree7"].UnitSizes(), IncOptions{})
+	large := NewInc(models["k2"], models["k2"].UnitSizes(), IncOptions{})
+	sb, lb := small.MemoryBytes(), large.MemoryBytes()
+	if sb <= 0 || lb <= 0 {
+		t.Fatalf("non-positive footprints: %d, %d", sb, lb)
+	}
+	if lb <= sb {
+		t.Fatalf("k2 footprint %d not larger than tree7's %d", lb, sb)
+	}
+	if min := int64(len(models["k2"].G.C.Nodes)) * 2 * 16; lb < min {
+		t.Fatalf("k2 footprint %d below its moment slabs alone (%d)", lb, min)
+	}
 }
